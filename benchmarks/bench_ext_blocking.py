@@ -1,0 +1,60 @@
+"""Extension bench: HNN blocking (the paper's §7 future-work item).
+
+Sweeps the u-block size and replays the reordered phase-2 access stream
+through the SkyLakeX model, quantifying the conjectured locality gain.
+"""
+
+from repro.core import build_lotus_graph, count_hnn, count_hnn_blocked, phase2_blocked_trace
+from repro.eval import experiments as E
+from repro.eval.harness import ExperimentResult
+from repro.graph import load_dataset
+from repro.memsim import MACHINES, MemoryHierarchy
+from repro.memsim.trace import lotus_layout, lotus_phase2_trace
+
+from conftest import run_experiment
+
+
+def _experiment(dataset: str = "UU") -> ExperimentResult:
+    lotus = build_lotus_graph(load_dataset(dataset))
+    machine = MACHINES["SkyLakeX"].scaled(E.CACHE_SCALE)
+    expected = count_hnn(lotus)
+    layout = lotus_layout(lotus)
+
+    rows = []
+    base = MemoryHierarchy(machine)
+    base.access_lines(lotus_phase2_trace(lotus, layout))
+    rows.append(
+        {
+            "variant": "unblocked (paper's Lotus)",
+            "LLC misses": base.stats().llc_misses,
+            "DTLB misses": base.stats().dtlb_misses,
+        }
+    )
+    for block_size in (8192, 2048, 512):
+        assert count_hnn_blocked(lotus, block_size) == expected
+        h = MemoryHierarchy(machine)
+        h.access_lines(phase2_blocked_trace(lotus, block_size, layout))
+        rows.append(
+            {
+                "variant": f"u-blocked ({block_size} rows)",
+                "LLC misses": h.stats().llc_misses,
+                "DTLB misses": h.stats().dtlb_misses,
+            }
+        )
+    return ExperimentResult(
+        "ext_blocking",
+        f"HNN blocking sweep [{dataset}]",
+        rows,
+        paper_reference={
+            "claim": "locality of HNN may be further improved by applying "
+            "blocking strategies to limit the domain of random accesses "
+            "(Section 7)"
+        },
+    )
+
+
+def test_ext_blocking(benchmark):
+    result = run_experiment(benchmark, _experiment)
+    base = result.rows[0]["LLC misses"]
+    best = min(r["LLC misses"] for r in result.rows[1:])
+    assert best <= base

@@ -1,0 +1,48 @@
+"""Extension bench: distributed TC partitioning strategies (Section 6.4).
+
+Not a paper table — the paper cites PATRIC/VEBO for distributed TC; this
+bench quantifies the trade-off its related-work section describes:
+hash/block partitioning vs degree-balanced placement on a skewed graph.
+"""
+
+from repro.dist import PARTITIONERS, simulate_distributed_tc
+from repro.eval.harness import ExperimentResult
+from repro.graph import load_dataset
+from repro.tc import count_triangles_matrix
+
+from conftest import run_experiment
+
+
+def _experiment(dataset: str = "Twtr10", workers: int = 16) -> ExperimentResult:
+    g = load_dataset(dataset)
+    expected = count_triangles_matrix(g)
+    rows = []
+    for name, fn in sorted(PARTITIONERS.items()):
+        report = simulate_distributed_tc(g, fn(g, workers), workers)
+        assert report.triangles == expected
+        rows.append(
+            {
+                "partitioner": name,
+                "work imbalance (max/mean)": report.work_imbalance,
+                "comm edges": report.total_comm_edges,
+                "comm/local ratio": report.comm_to_local_ratio,
+            }
+        )
+    return ExperimentResult(
+        "ext_distributed",
+        f"Distributed TC over {workers} workers [{dataset}]",
+        rows,
+        paper_reference={
+            "claim": "degree-aware placement (VEBO [68]) balances load on "
+            "skewed graphs; PATRIC [5] trades communication for it"
+        },
+    )
+
+
+def test_ext_distributed(benchmark):
+    result = run_experiment(benchmark, _experiment)
+    by_name = {r["partitioner"]: r for r in result.rows}
+    assert (
+        by_name["degree_balanced"]["work imbalance (max/mean)"]
+        <= by_name["block"]["work imbalance (max/mean)"]
+    )

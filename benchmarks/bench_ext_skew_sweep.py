@@ -1,0 +1,71 @@
+"""Extension bench: LOTUS-vs-Forward crossover as skew decreases (§5.5).
+
+The paper's Friendster discussion implies a crossover: as the degree
+distribution flattens, hub machinery stops paying off and the Forward
+algorithm should be preferred (that is what the adaptive dispatcher
+automates).  This sweep generates Chung-Lu graphs with tail exponents
+from strongly skewed (gamma ~ 1.9) to nearly homogeneous (gamma ~ 4.0)
+and records where the modeled-speedup curve crosses 1.0.
+"""
+
+from repro.core import build_lotus_graph
+from repro.eval import experiments as E
+from repro.eval.harness import ExperimentResult
+from repro.graph import powerlaw_chung_lu
+from repro.graph.degree import degree_statistics
+from repro.graph.reorder import apply_degree_ordering
+from repro.memsim import (
+    MACHINES,
+    MemoryHierarchy,
+    forward_opcounts,
+    forward_trace,
+    lotus_opcounts,
+    lotus_trace,
+    modeled_seconds,
+)
+
+from conftest import run_experiment
+
+
+def _sweep(n: int = 20_000, avg_deg: float = 14.0) -> ExperimentResult:
+    machine = MACHINES["SkyLakeX"].scaled(E.CACHE_SCALE)
+    rows = []
+    for gamma in (1.9, 2.1, 2.4, 2.8, 3.2, 4.0):
+        g = powerlaw_chung_lu(n, avg_deg, exponent=gamma, seed=31)
+        stats = degree_statistics(g)
+        oriented = apply_degree_ordering(g)[0].orient_lower()
+        lotus = build_lotus_graph(g)
+        hf = MemoryHierarchy(machine)
+        hf.access_lines(forward_trace(oriented))
+        hl = MemoryHierarchy(machine)
+        hl.access_lines(lotus_trace(lotus))
+        tf = modeled_seconds(forward_opcounts(oriented), hf.stats(), machine)
+        tl = modeled_seconds(lotus_opcounts(lotus), hl.stats(), machine)
+        rows.append(
+            {
+                "gamma": gamma,
+                "max degree": stats.max_degree,
+                "gini": stats.gini,
+                "modeled speedup": tf.seconds_parallel / tl.seconds_parallel,
+            }
+        )
+    return ExperimentResult(
+        "ext_skew_sweep",
+        f"Lotus/Forward modeled speedup vs degree-distribution skew (n={n})",
+        rows,
+        paper_reference={
+            "claim": "less power-law graphs may not benefit from Lotus; check "
+            "the degree distribution and fall back to Forward (Section 5.5)"
+        },
+    )
+
+
+def test_ext_skew_sweep(benchmark):
+    result = run_experiment(benchmark, _sweep)
+    speedups = [r["modeled speedup"] for r in result.rows]
+    # strongly skewed end: Lotus clearly wins
+    assert speedups[0] > 1.5
+    # the advantage must decay as skew decreases...
+    assert speedups[-1] < speedups[0] * 0.7
+    # ...and the flattest graphs sit near or below the crossover
+    assert min(speedups) < 1.3

@@ -1,0 +1,15 @@
+"""Figure 1: average end-to-end TC rate (edges/second) per system."""
+
+from repro.eval import experiments as E
+
+from conftest import run_experiment
+
+
+def test_fig1(benchmark, suite):
+    result = run_experiment(benchmark, E.fig1, datasets=suite)
+    rates = {r["system"]: r["avg TC rate (edges/s)"] for r in result.rows}
+    # paper shape: Lotus has the highest average rate; BBTC and the edge
+    # iterator (GraphGrind) trail the Forward-family systems
+    assert rates["Lotus"] == max(rates.values())
+    assert rates["BBTC"] < rates["GAP"]
+    assert rates["GGrnd"] < rates["Lotus"]

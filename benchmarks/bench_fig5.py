@@ -1,0 +1,19 @@
+"""Figure 5: memory accesses, instructions, branch mispredictions."""
+
+import numpy as np
+
+from repro.eval import experiments as E
+
+from conftest import run_experiment
+
+
+def test_fig5(benchmark, suite):
+    result = run_experiment(benchmark, E.fig5, datasets=suite)
+    mem = np.array([r["mem access reduction x"] for r in result.rows])
+    instr = np.array([r["instruction reduction x"] for r in result.rows])
+    br = np.array([r["branch-miss reduction x"] for r in result.rows])
+    # paper shape: Lotus reduces all three event classes on average
+    # (paper: 1.5x / 1.7x / 2.4x)
+    assert mem.mean() > 1.2
+    assert instr.mean() > 1.2
+    assert br.mean() > 1.5

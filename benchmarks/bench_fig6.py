@@ -1,0 +1,25 @@
+"""Figure 6: Lotus execution-time breakdown."""
+
+import numpy as np
+import pytest
+
+from repro.eval import experiments as E
+
+from conftest import run_experiment
+
+
+def test_fig6(benchmark, suite):
+    result = run_experiment(benchmark, E.fig6, datasets=suite)
+    for row in result.rows:
+        total_pct = (
+            row["preprocess %"] + row["hhh+hhn %"] + row["hnn %"] + row["nnn %"]
+        )
+        assert total_pct == pytest.approx(100.0, abs=0.5)
+    # paper shape: preprocessing is a minor but visible share (19.4% avg),
+    # and the low-skew Friendster spends the most time on non-hub triangles
+    pre = np.array([r["preprocess %"] for r in result.rows])
+    assert 2.0 < pre.mean() < 60.0
+    by_name = {r["dataset"]: r for r in result.rows}
+    if "Frndstr" in by_name and len(result.rows) > 1:
+        others = [r["nnn %"] for r in result.rows if r["dataset"] != "Frndstr"]
+        assert by_name["Frndstr"]["nnn %"] > np.mean(others)

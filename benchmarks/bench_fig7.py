@@ -1,0 +1,17 @@
+"""Figure 7: hub vs non-hub triangles counted by Lotus."""
+
+from repro.eval import experiments as E
+
+from conftest import run_experiment
+
+
+def test_fig7(benchmark, suite):
+    result = run_experiment(benchmark, E.fig7, datasets=suite)
+    avg = result.rows[-1]
+    assert avg["dataset"] == "Average"
+    # paper shape: most triangles are counted as hub triangles (68.9% avg)
+    assert avg["hub %"] > 60.0
+    # and the low-skew Friendster has the smallest hub share (Section 5.5)
+    per = {r["dataset"]: r["hub %"] for r in result.rows if r["dataset"] != "Average"}
+    if "Frndstr" in per:
+        assert per["Frndstr"] == min(per.values())

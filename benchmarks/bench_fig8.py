@@ -1,0 +1,18 @@
+"""Figure 8: percentage of edges in the HE and NHE sub-graphs."""
+
+from repro.eval import experiments as E
+
+from conftest import run_experiment
+
+
+def test_fig8(benchmark, suite):
+    result = run_experiment(benchmark, E.fig8, datasets=suite)
+    per = {r["dataset"]: r["HE edges %"] for r in result.rows if r["dataset"] != "Average"}
+    avg = result.rows[-1]["HE edges %"]
+    # paper shape: about half (or more) of the edges are hub edges on
+    # skewed graphs (paper avg 50.1%)...
+    assert avg > 40.0
+    # ...while the low-skew Friendster captures very few (paper 7.6%)
+    if "Frndstr" in per:
+        assert per["Frndstr"] == min(per.values())
+        assert per["Frndstr"] < 35.0

@@ -1,0 +1,21 @@
+"""Figure 9: cumulative H2H accesses vs most frequently accessed cachelines."""
+
+from repro.eval import experiments as E
+
+from conftest import run_experiment
+
+
+def test_fig9(benchmark):
+    result = run_experiment(benchmark, E.fig9, dataset="Twtr10")
+    rows = result.rows
+    assert rows, "expected a non-empty access distribution"
+    # cumulative share must be monotone in the number of lines kept
+    shares = [r["cumulative access %"] for r in rows]
+    assert all(b >= a for a, b in zip(shares, shares[1:]))
+    # paper shape: a modest fraction of cachelines satisfies ~90% of
+    # accesses (64MB ~ 25% of H2H in the paper)
+    reach_90 = next(
+        (r["% of all H2H lines"] for r in rows if r["cumulative access %"] >= 90.0),
+        100.0,
+    )
+    assert reach_90 <= 80.0

@@ -1,0 +1,17 @@
+"""Table 1: topological characteristics of hubs (top 1% by degree)."""
+
+from repro.eval import experiments as E
+
+from conftest import run_experiment
+
+
+def test_table1(benchmark, suite):
+    result = run_experiment(benchmark, E.table1, datasets=suite)
+    avg = result.rows[-1]
+    assert avg["dataset"] == "Average"
+    # paper shape: hubs attract most edges and almost all triangles,
+    # and the hub sub-graph is orders of magnitude denser than the graph
+    assert avg["hub edges %"] > 40.0
+    assert avg["hub triangles %"] > 80.0
+    assert avg["relative density"] > 100.0
+    assert avg["fruitless %"] > 20.0

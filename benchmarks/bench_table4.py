@@ -1,0 +1,17 @@
+"""Table 4: dataset inventory of the synthetic stand-ins."""
+
+from repro.eval import experiments as E
+from repro.graph.datasets import LARGE_SUITE
+
+from conftest import FAST, FAST_SUITE, run_experiment
+
+
+def test_table4(benchmark, suite):
+    datasets = suite if FAST else suite + LARGE_SUITE
+    result = run_experiment(benchmark, E.table4, datasets=datasets)
+    assert all(r["triangles"] > 0 for r in result.rows)
+    # Table 4 ordering: the large suite must dwarf the small one
+    if not FAST:
+        small = [r["|E|"] for r in result.rows if r["dataset"] in suite]
+        large = [r["|E|"] for r in result.rows if r["dataset"] in LARGE_SUITE]
+        assert max(small) < 2 * max(large)

@@ -1,0 +1,18 @@
+"""Table 9: thread idle time, edge-balanced vs Squared Edge Tiling."""
+
+import numpy as np
+
+from repro.eval import experiments as E
+
+from conftest import FAST, run_experiment
+
+
+def test_table9(benchmark):
+    datasets = ("Twtr10", "SK") if FAST else ("Twtr10", "TwtrMpi", "SK", "WbCc", "UKDls")
+    result = run_experiment(benchmark, E.table9, datasets=datasets, threads=32)
+    eb = np.array([r["edge balanced idle %"] for r in result.rows])
+    sq = np.array([r["squared tiling idle %"] for r in result.rows])
+    # paper shape: edge-balanced idles 13-83% of the time, squared < ~3%
+    assert (sq < 3.0).all()
+    assert eb.mean() > 10.0
+    assert (eb > sq).all()

@@ -1,0 +1,40 @@
+"""Shared benchmark plumbing.
+
+Each benchmark regenerates one paper table/figure via
+:mod:`repro.eval.experiments`, times it with pytest-benchmark (one round
+— these are experiment harnesses, not micro-benchmarks), prints the
+rendered table, and saves it under ``benchmarks/results/``.
+
+Set ``REPRO_BENCH_FAST=1`` to run every experiment on a reduced dataset
+suite (useful for smoke-testing the harness).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+FAST = os.environ.get("REPRO_BENCH_FAST", "") == "1"
+FAST_SUITE = ("LJGrp", "Twtr10", "Frndstr", "SK")
+
+
+def run_experiment(benchmark, fn, *args, **kwargs):
+    """Benchmark one experiment function and persist its rendered output."""
+    result = benchmark.pedantic(lambda: fn(*args, **kwargs), rounds=1, iterations=1)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = result.render()
+    (RESULTS_DIR / f"{result.experiment_id}.txt").write_text(text + "\n")
+    print("\n" + text)
+    return result
+
+
+@pytest.fixture
+def suite():
+    """Dataset suite for the current mode (full vs fast)."""
+    from repro.graph.datasets import SMALL_SUITE
+
+    return FAST_SUITE if FAST else SMALL_SUITE

@@ -1,0 +1,61 @@
+"""Distributed TC simulation and compressed topology (Sections 6.4 & 3.2).
+
+Two library extensions grounded in the paper's related work:
+
+* a deterministic message-passing simulator for PATRIC-style distributed
+  TC, comparing partitioning strategies on load balance and
+  communication volume;
+* a delta+varint compressed CSX showing — per Section 3.2's coding-theory
+  argument — that the LOTUS relabeling (hubs at the smallest IDs) makes
+  the topology cheaper to encode.
+
+Run:  python examples/distributed_and_compression.py
+"""
+
+from repro.dist import PARTITIONERS, simulate_distributed_tc
+from repro.graph import load_dataset
+from repro.graph.compress import compress_graph
+from repro.graph.reorder import apply_degree_ordering, lotus_relabeling_array, relabel
+
+
+def main() -> None:
+    graph = load_dataset("Twtr10")
+    print(f"dataset: {graph}\n")
+
+    # --- distributed TC ---------------------------------------------------
+    workers = 16
+    print(f"distributed TC across {workers} simulated workers:")
+    print(f"{'partitioner':<18} {'triangles':>12} {'imbalance':>10} "
+          f"{'comm edges':>11} {'comm/local':>11}")
+    for name, fn in sorted(PARTITIONERS.items()):
+        report = simulate_distributed_tc(graph, fn(graph, workers), workers)
+        print(f"{name:<18} {report.triangles:>12,} "
+              f"{report.work_imbalance:>10.2f} "
+              f"{report.total_comm_edges:>11,} "
+              f"{report.comm_to_local_ratio:>11.2f}")
+
+    # --- compressed topology (Section 3.2) ---------------------------------
+    # a web-graph stand-in whose vertex IDs carry no degree information
+    web = load_dataset("SK")
+    import numpy as np
+
+    web = relabel(web, np.random.default_rng(1).permutation(web.num_vertices))
+    print(f"\ncompressed CSX of {web} (delta + varint) under relabelings:")
+    raw = 4 * web.num_arcs
+    variants = {
+        "shuffled IDs": web,
+        "lotus relabeling": relabel(web, lotus_relabeling_array(web)),
+        "full degree ordering": apply_degree_ordering(web)[0],
+    }
+    for label, g in variants.items():
+        c = compress_graph(g)
+        print(f"  {label:<22} {c.data.nbytes / 1e6:6.2f} MB "
+              f"({c.bytes_per_arc():.2f} B/edge vs 4.00 raw, "
+              f"{100 * c.data.nbytes / raw:.0f}% of raw)")
+    print("\nHubs at the smallest IDs make the most frequent neighbour IDs "
+          "the cheapest varints — the measured form of the paper's "
+          "coding-theory compactness argument (Section 3.2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""k-clique counting and hub dominance (the paper's future work, §7).
+
+TC is the k = 3 case of k-clique counting; the paper anticipates that
+hub dominance grows with k (each clique corner needs k-1 incident
+edges).  This example measures exactly that with the LOTUS-style hub
+decomposition.
+
+Run:  python examples/kclique_hubs.py
+"""
+
+from repro.graph import powerlaw_chung_lu
+from repro.tc import count_kcliques_hub
+
+
+def main() -> None:
+    graph = powerlaw_chung_lu(3_000, 14.0, exponent=2.0, seed=11)
+    hub_count = 30  # top 1% by degree
+    print(f"graph: {graph}, hubs: top {hub_count} by degree\n")
+    print(f"{'k':>3} {'total cliques':>15} {'with a hub':>13} {'hub share':>10}")
+    prev = 0.0
+    for k in (3, 4, 5, 6):
+        d = count_kcliques_hub(graph, k, hub_count=hub_count)
+        print(f"{k:>3} {d['total']:>15,} {d['hub']:>13,} "
+              f"{d['hub_fraction']:>9.1%}")
+        assert d["hub_fraction"] >= prev - 0.02, "hub share should grow with k"
+        prev = d["hub_fraction"]
+    print("\nHub dominance grows with clique size — supporting the paper's "
+          "conjecture that LOTUS's hub-first strategy pays off even more "
+          "for k-clique counting.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Social-network analysis: transitivity and hub structure via TC.
+
+Triangle counting powers clustering-coefficient analysis — one of the
+applications the paper's introduction motivates (community structure,
+social capital).  This example compares the global transitivity and hub
+dominance of different network models using the LOTUS decomposition.
+
+Run:  python examples/social_network_clustering.py
+"""
+
+import numpy as np
+
+from repro.core import count_triangles_lotus, hub_characteristics
+from repro.graph import (
+    barabasi_albert,
+    erdos_renyi,
+    powerlaw_chung_lu,
+    watts_strogatz,
+)
+
+
+def transitivity(graph, triangles: int) -> float:
+    """Global clustering coefficient: 3 * triangles / wedges."""
+    deg = graph.degrees().astype(np.float64)
+    wedges = float((deg * (deg - 1) / 2).sum())
+    return 3.0 * triangles / wedges if wedges else 0.0
+
+
+def main() -> None:
+    networks = {
+        "power-law (social-network-like)": powerlaw_chung_lu(
+            15_000, 12.0, exponent=2.05, seed=1
+        ),
+        "preferential attachment": barabasi_albert(15_000, 6, seed=2),
+        "small world (Watts-Strogatz)": watts_strogatz(15_000, 12, 0.1, seed=3),
+        "uniform random (Erdos-Renyi)": erdos_renyi(15_000, 12.0 / 15_000, seed=4),
+    }
+
+    print(f"{'network':<34} {'triangles':>10} {'transitivity':>13} "
+          f"{'hub-tri %':>10} {'hub-edge %':>11}")
+    for name, graph in networks.items():
+        result = count_triangles_lotus(graph)
+        counts = result.extra["counts"]
+        t = transitivity(graph, result.triangles)
+        print(f"{name:<34} {result.triangles:>10,} {t:>13.4f} "
+              f"{100 * counts.hub_fraction():>9.1f}% "
+              f"{100 * result.extra['hub_edge_fraction']:>10.1f}%")
+
+    print("\nTable-1 style hub analysis of the power-law network "
+          "(top 1% of vertices as hubs):")
+    hc = hub_characteristics(networks["power-law (social-network-like)"], 0.01)
+    print(f"  hubs: {hc.num_hubs}")
+    print(f"  hub edges:          {hc.hub_edges_pct:5.1f}% of all edges")
+    print(f"  hub triangles:      {hc.hub_triangles_pct:5.1f}% of all triangles")
+    print(f"  hub sub-graph density: {hc.relative_density:,.0f}x the full graph")
+    print(f"  avoidable (fruitless) accesses: {hc.fruitless_pct:.1f}%")
+    print("\nThe skewed models concentrate triangles on hubs — exactly the "
+          "structure LOTUS exploits; the small-world and uniform models do not.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Streaming triangle counting with a resident hub structure (Section 6.2).
+
+The paper proposes keeping the H2H bit array resident to count the
+dominant hub-triangle class exactly in a streaming setting while
+sampling the rest.  This example streams a social network edge-by-edge
+through three counters and compares accuracy and memory.
+
+Run:  python examples/streaming_triangles.py
+"""
+
+import numpy as np
+
+from repro.graph import powerlaw_chung_lu
+from repro.graph.degree import hub_mask_top_k
+from repro.tc import (
+    StreamingLotusCounter,
+    count_triangles_matrix,
+    doulion_estimate,
+    reservoir_triangle_estimate,
+)
+
+
+def main() -> None:
+    graph = powerlaw_chung_lu(10_000, 12.0, exponent=2.05, seed=7)
+    exact = count_triangles_matrix(graph)
+    edges = graph.edges()
+    rng = np.random.default_rng(0)
+    stream = edges[rng.permutation(edges.shape[0])]
+    print(f"graph: {graph}, exact triangles: {exact:,}")
+    print(f"stream length: {stream.shape[0]:,} edges\n")
+
+    # --- DOULION: uniform edge sparsification --------------------------
+    for p in (0.5, 0.25):
+        est = doulion_estimate(graph, p, seed=1)
+        print(f"DOULION p={p:<5}      estimate {est:>12,.0f}  "
+              f"error {abs(est - exact) / exact:6.1%}")
+
+    # --- TRIEST-style reservoir ----------------------------------------
+    for size in (stream.shape[0] // 2, stream.shape[0] // 4):
+        est = reservoir_triangle_estimate(stream, reservoir_size=size, seed=2)
+        print(f"reservoir {size:>6,}    estimate {est:>12,.0f}  "
+              f"error {abs(est - exact) / exact:6.1%}")
+
+    # --- LOTUS streaming: exact hub triangles + sampled NNN -------------
+    hubs = np.flatnonzero(hub_mask_top_k(graph, 200))
+    print(f"\nLOTUS streaming with {hubs.size} hubs resident:")
+    for keep in (1.0, 0.5, 0.25):
+        counter = StreamingLotusCounter(hubs, nn_keep_prob=keep, seed=3)
+        counter.update_many(stream)
+        est = counter.estimate_total()
+        print(f"  nn_keep={keep:<5} estimate {est:>12,.0f}  "
+              f"error {abs(est - exact) / exact:6.1%}  "
+              f"stored {counter.edges_stored:>7,}/{counter.edges_seen:,} edges  "
+              f"(hub triangles {'exact' if keep == 1.0 else 'low-variance'}: "
+              f"{counter.hub_triangles:,.0f})")
+
+    print("\nBecause hubs create most triangles, dropping non-hub edges "
+          "barely moves the estimate — the Section 6.2 precision argument.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Memory-locality study on a web graph: LOTUS vs the Forward algorithm.
+
+Replays both algorithms' exact address traces through the simulated
+memory hierarchies of the paper's three machines (Table 3, scaled per
+DESIGN.md) and prints the Figure 4/5 style comparison plus modelled run
+times.
+
+Run:  python examples/web_graph_locality.py
+"""
+
+from repro.core import build_lotus_graph
+from repro.graph import load_dataset
+from repro.graph.reorder import apply_degree_ordering
+from repro.memsim import (
+    MACHINES,
+    MemoryHierarchy,
+    forward_opcounts,
+    forward_trace,
+    lotus_opcounts,
+    lotus_trace,
+    modeled_seconds,
+)
+
+CACHE_SCALE = 1024  # capacity scale matching our ~1000x smaller datasets
+
+
+def main() -> None:
+    name = "SK"  # stand-in for the paper's SK-Domain web graph
+    graph = load_dataset(name)
+    print(f"dataset {name}: {graph}")
+
+    oriented = apply_degree_ordering(graph)[0].orient_lower()
+    lotus = build_lotus_graph(graph)
+    traces = {
+        "Forward": forward_trace(oriented),
+        "Lotus": lotus_trace(lotus),
+    }
+    ops = {
+        "Forward": forward_opcounts(oriented),
+        "Lotus": lotus_opcounts(lotus),
+    }
+
+    print("\nmodelled hardware events (Figure 5):")
+    for alg in ("Forward", "Lotus"):
+        o = ops[alg]
+        print(f"  {alg:<8} mem accesses {o.memory_accesses / 1e6:7.1f}M   "
+              f"instructions {o.instructions / 1e6:8.1f}M   "
+              f"branch misses {o.branch_mispredicts / 1e6:6.2f}M")
+
+    print("\ncache replay per machine (Figure 4 + Table 5 modelled times):")
+    for mach_name, machine in MACHINES.items():
+        scaled = machine.scaled(CACHE_SCALE)
+        stats = {}
+        for alg, trace in traces.items():
+            h = MemoryHierarchy(scaled)
+            h.access_lines(trace)
+            stats[alg] = h.stats()
+        f, l = stats["Forward"], stats["Lotus"]
+        tf = modeled_seconds(ops["Forward"], f, scaled).seconds_parallel
+        tl = modeled_seconds(ops["Lotus"], l, scaled).seconds_parallel
+        print(f"  {mach_name:<9} LLC misses: Forward {f.llc_misses:>9,} "
+              f"Lotus {l.llc_misses:>9,} ({f.llc_misses / max(l.llc_misses, 1):4.1f}x)   "
+              f"DTLB: {f.dtlb_misses / max(l.dtlb_misses, 1):5.1f}x   "
+              f"modelled speedup {tf / tl:4.2f}x")
+
+    print("\nEpyc's 12x larger L3 absorbs far more of Forward's misses (see "
+          "its much lower absolute LLC column) — averaged over the whole "
+          "dataset suite this is why the paper's Section 5.2 reports smaller "
+          "Lotus speedups on Epyc (run benchmarks/bench_table5.py).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,182 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``count``       — count triangles of a dataset or edge-list file with a
+  chosen algorithm, printing the count, timing breakdown and (for LOTUS)
+  the triangle-type decomposition;
+* ``analyze``     — Table-1 style hub analytics of a graph;
+* ``datasets``    — list the synthetic stand-in registry;
+* ``experiment``  — regenerate one paper table/figure by ID;
+* ``simulate``    — Figure-4 style cache replay for one dataset.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import LotusConfig, count_triangles_lotus, hub_characteristics
+from repro.core.adaptive import count_triangles_adaptive
+from repro.graph import DATASETS, load_dataset, load_edgelist, load_npz
+from repro.tc import (
+    count_triangles_edge_iterator,
+    count_triangles_forward,
+    count_triangles_forward_hashed,
+    count_triangles_block,
+    count_triangles_node_iterator,
+)
+
+ALGORITHMS = {
+    "lotus": lambda g, hubs: count_triangles_lotus(
+        g, LotusConfig(hub_count=hubs) if hubs else None
+    ),
+    "adaptive": lambda g, hubs: count_triangles_adaptive(
+        g, LotusConfig(hub_count=hubs) if hubs else None
+    ),
+    "forward": lambda g, _: count_triangles_forward(g),
+    "forward-hashed": lambda g, _: count_triangles_forward_hashed(g),
+    "edge-iterator": lambda g, _: count_triangles_edge_iterator(g),
+    "node-iterator": lambda g, _: count_triangles_node_iterator(g),
+    "block": lambda g, _: count_triangles_block(g),
+}
+
+
+def _load_graph(args: argparse.Namespace):
+    if args.dataset:
+        return load_dataset(args.dataset)
+    if args.file:
+        if args.file.endswith(".npz"):
+            return load_npz(args.file)
+        return load_edgelist(args.file)
+    raise SystemExit("specify --dataset NAME or --file PATH")
+
+
+def _add_graph_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--dataset", help="synthetic stand-in name (see `datasets`)")
+    p.add_argument("--file", help="edge-list (.txt) or CSR (.npz) file")
+
+
+def cmd_count(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    algorithm = ALGORITHMS[args.algorithm]
+    result = algorithm(graph, args.hub_count)
+    print(f"graph: {graph}")
+    print(f"algorithm: {result.algorithm}")
+    print(f"triangles: {result.triangles:,}")
+    print(f"total time: {result.elapsed:.3f}s")
+    for phase, seconds in result.phases.items():
+        print(f"  {phase:<12} {seconds:.3f}s")
+    counts = result.extra.get("counts")
+    if counts is not None:
+        print(
+            f"types: HHH={counts.hhh:,} HHN={counts.hhn:,} "
+            f"HNN={counts.hnn:,} NNN={counts.nnn:,} "
+            f"(hub share {counts.hub_fraction():.1%})"
+        )
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    hc = hub_characteristics(graph, hub_fraction=args.hub_fraction)
+    print(f"graph: {graph}")
+    print(f"hubs (top {args.hub_fraction:.1%} by degree): {hc.num_hubs}")
+    print(f"hub-to-hub edges:     {hc.hub_to_hub_pct:6.2f}%")
+    print(f"hub-to-non-hub edges: {hc.hub_to_nonhub_pct:6.2f}%")
+    print(f"hub edges total:      {hc.hub_edges_pct:6.2f}%")
+    print(f"hub triangles:        {hc.hub_triangles_pct:6.2f}%")
+    print(f"relative hub density: {hc.relative_density:,.0f}x")
+    print(f"fruitless accesses:   {hc.fruitless_pct:6.2f}%")
+    return 0
+
+
+def cmd_datasets(_args: argparse.Namespace) -> int:
+    print(f"{'name':<12} {'paper dataset':<14} {'type':<5} "
+          f"{'paper |V|(M)':>12} {'paper |E|(B)':>12}")
+    for spec in DATASETS.values():
+        print(f"{spec.name:<12} {spec.paper_name:<14} {spec.kind:<5} "
+              f"{spec.paper_vertices_m:>12} {spec.paper_edges_b:>12}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.eval import experiments
+
+    fn = getattr(experiments, args.id, None)
+    if fn is None or args.id.startswith("_"):
+        valid = [n for n in experiments.__all__ if n not in ("CACHE_SCALE",)]
+        raise SystemExit(f"unknown experiment {args.id!r}; one of: {valid}")
+    print(fn().render())
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.core import build_lotus_graph
+    from repro.graph.reorder import apply_degree_ordering
+    from repro.memsim import (
+        MACHINES,
+        MemoryHierarchy,
+        forward_trace,
+        lotus_trace,
+    )
+
+    graph = _load_graph(args)
+    machine = MACHINES[args.machine].scaled(args.scale)
+    oriented = apply_degree_ordering(graph)[0].orient_lower()
+    lotus = build_lotus_graph(graph)
+    print(f"machine: {machine.name} (L1={machine.l1_bytes}B "
+          f"L2={machine.l2_bytes}B L3={machine.l3_bytes_total}B)")
+    for alg, trace in (
+        ("forward", forward_trace(oriented)),
+        ("lotus", lotus_trace(lotus)),
+    ):
+        h = MemoryHierarchy(machine)
+        h.access_lines(trace)
+        s = h.stats()
+        print(f"{alg:<8} accesses={s.accesses:,} LLC misses={s.llc_misses:,} "
+              f"DTLB misses={s.dtlb_misses:,}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="LOTUS triangle counting reproduction"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("count", help="count triangles")
+    _add_graph_args(p)
+    p.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="lotus")
+    p.add_argument("--hub-count", type=int, default=None)
+    p.set_defaults(fn=cmd_count)
+
+    p = sub.add_parser("analyze", help="hub analytics (Table 1 style)")
+    _add_graph_args(p)
+    p.add_argument("--hub-fraction", type=float, default=0.01)
+    p.set_defaults(fn=cmd_analyze)
+
+    p = sub.add_parser("datasets", help="list the synthetic dataset registry")
+    p.set_defaults(fn=cmd_datasets)
+
+    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p.add_argument("id", help="e.g. table1, table5, fig4, fig9")
+    p.set_defaults(fn=cmd_experiment)
+
+    p = sub.add_parser("simulate", help="cache replay (Figure 4 style)")
+    _add_graph_args(p)
+    p.add_argument("--machine", choices=("SkyLakeX", "Haswell", "Epyc"),
+                   default="SkyLakeX")
+    p.add_argument("--scale", type=int, default=1024,
+                   help="cache capacity scale factor (DESIGN.md §1)")
+    p.set_defaults(fn=cmd_simulate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

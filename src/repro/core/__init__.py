@@ -1,0 +1,62 @@
+"""LOTUS core: the paper's primary contribution.
+
+* :mod:`repro.core.bitarray` — the triangular H2H bit array (Section 4.2);
+* :mod:`repro.core.structure` — the Lotus graph structure and
+  preprocessing (Algorithm 2);
+* :mod:`repro.core.count` — the 3-phase triangle count (Algorithm 3) with
+  per-phase breakdown and per-type triangle counts;
+* :mod:`repro.core.tiling` — Squared Edge Tiling and the edge-balanced
+  comparator (Section 4.6);
+* :mod:`repro.core.adaptive` — skew detection / Forward fallback
+  (Section 5.5) and the recursive-LOTUS extension (Section 7);
+* :mod:`repro.core.stats` — the hub analytics of Table 1.
+"""
+
+from repro.core.bitarray import TriangularBitArray
+from repro.core.structure import LotusConfig, LotusGraph, build_lotus_graph
+from repro.core.count import (
+    LotusCounts,
+    count_triangles_lotus,
+    lotus_count_from_structure,
+    count_hhh_hhn,
+    count_hnn,
+    count_nnn,
+)
+from repro.core.tiling import (
+    squared_edge_tiling,
+    edge_balanced_tiling,
+    tile_pair_work,
+    Tile,
+    tiles_for_phase1,
+)
+from repro.core.adaptive import count_triangles_adaptive, count_triangles_lotus_recursive
+from repro.core.blocking import count_hnn_blocked, blocked_arc_order, phase2_blocked_trace
+from repro.core.local import LotusLocalResult, lotus_local_counts
+from repro.core.stats import hub_characteristics, HubCharacteristics
+
+__all__ = [
+    "TriangularBitArray",
+    "LotusConfig",
+    "LotusGraph",
+    "build_lotus_graph",
+    "LotusCounts",
+    "count_triangles_lotus",
+    "lotus_count_from_structure",
+    "count_hhh_hhn",
+    "count_hnn",
+    "count_nnn",
+    "squared_edge_tiling",
+    "edge_balanced_tiling",
+    "tile_pair_work",
+    "Tile",
+    "tiles_for_phase1",
+    "count_triangles_adaptive",
+    "count_triangles_lotus_recursive",
+    "count_hnn_blocked",
+    "blocked_arc_order",
+    "phase2_blocked_trace",
+    "LotusLocalResult",
+    "lotus_local_counts",
+    "hub_characteristics",
+    "HubCharacteristics",
+]

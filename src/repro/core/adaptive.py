@@ -1,0 +1,114 @@
+"""Adaptive algorithm selection and recursive LOTUS.
+
+Section 5.5: graphs that are not skewed enough (e.g. Friendster) gain
+little from the hub machinery, so production use should check the degree
+distribution first and fall back to the Forward algorithm —
+:func:`count_triangles_adaptive` implements that dispatch using the
+GAP-style sampling detector from :mod:`repro.graph.degree`.
+
+Section 7 / 5.5(1): social networks with many low-degree hubs can apply
+LOTUS *recursively*, splitting the NHE sub-graph into its own
+H2H/HE/NHE components — :func:`count_triangles_lotus_recursive`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.count import count_triangles_lotus, count_hhh_hhn, count_hnn
+from repro.core.structure import LotusConfig, build_lotus_graph
+from repro.graph.build import from_edges
+from repro.graph.csr import CSRGraph
+from repro.graph.degree import is_skewed
+from repro.tc.forward import count_triangles_forward
+from repro.tc.result import TCResult
+from repro.util.timer import PhaseTimer
+
+__all__ = ["count_triangles_adaptive", "count_triangles_lotus_recursive"]
+
+
+def count_triangles_adaptive(
+    graph: CSRGraph,
+    config: LotusConfig | None = None,
+    skew_threshold: float = 3.0,
+    seed: int | None = 0,
+) -> TCResult:
+    """LOTUS when the degree distribution is skewed, Forward otherwise.
+
+    The detector samples vertex degrees and compares the mean to the
+    sampled median (Section 5.5); the chosen algorithm is recorded in the
+    result's ``algorithm`` field.
+    """
+    if is_skewed(graph, threshold=skew_threshold, seed=seed):
+        result = count_triangles_lotus(graph, config)
+        result.extra["dispatch"] = "lotus"
+        return result
+    result = count_triangles_forward(graph)
+    result.extra["dispatch"] = "forward-fallback"
+    return result
+
+
+def _nhe_as_graph(nhe_indptr: np.ndarray, nhe_indices: np.ndarray, hub_count: int) -> CSRGraph:
+    """Re-materialise the NHE sub-graph as a standalone undirected graph on
+    the non-hub vertices (IDs shifted down by ``hub_count``)."""
+    n = nhe_indptr.size - 1
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(nhe_indptr))
+    dst = nhe_indices.astype(np.int64, copy=False)
+    # non-hub vertices occupy IDs [hub_count, n); compact them
+    src = src - hub_count
+    dst = dst - hub_count
+    keep = src >= 0
+    edges = np.column_stack([src[keep], dst[keep]])
+    return from_edges(edges, num_vertices=max(n - hub_count, 0))
+
+
+def count_triangles_lotus_recursive(
+    graph: CSRGraph,
+    config: LotusConfig | None = None,
+    max_depth: int = 3,
+    min_edges: int = 1024,
+    skew_threshold: float = 3.0,
+) -> TCResult:
+    """Recursive LOTUS (Section 7): phases 1-2 run at every level; the NNN
+    phase re-applies LOTUS to the NHE sub-graph while it remains large and
+    skewed, so each level's random accesses target a fresh small H2H.
+
+    Recursion stops at ``max_depth``, when the NHE sub-graph has fewer
+    than ``min_edges`` edges, or when it is no longer skewed; the
+    remainder is counted with the plain NNN kernel (via Forward on the
+    sub-graph, which is the identical computation).
+    """
+    timer = PhaseTimer()
+    total = 0
+    depth = 0
+    levels: list[dict[str, int]] = []
+    current = graph
+    while True:
+        lotus = build_lotus_graph(current, config, timer=timer)
+        with timer.phase(f"level{depth}:hhh+hhn"):
+            hhh, hhn = count_hhh_hhn(lotus)
+        with timer.phase(f"level{depth}:hnn"):
+            hnn = count_hnn(lotus)
+        total += hhh + hhn + hnn
+        levels.append({"hhh": hhh, "hhn": hhn, "hnn": hnn})
+        nhe_graph = _nhe_as_graph(lotus.nhe.indptr, lotus.nhe.indices, lotus.hub_count)
+        depth += 1
+        recurse = (
+            depth < max_depth
+            and nhe_graph.num_edges >= min_edges
+            and is_skewed(nhe_graph, threshold=skew_threshold)
+        )
+        if not recurse:
+            with timer.phase(f"level{depth}:nnn"):
+                rest = count_triangles_forward(nhe_graph, degree_order=False)
+            total += rest.triangles
+            levels.append({"nnn": rest.triangles})
+            break
+        current = nhe_graph
+    return TCResult(
+        algorithm=f"lotus-recursive(depth={depth})",
+        triangles=total,
+        elapsed=timer.total,
+        phases=dict(timer.phases),
+        extra={"levels": levels, "depth": depth},
+    )

@@ -1,0 +1,253 @@
+"""Counting triangles in Lotus (Algorithm 3, Section 4.4).
+
+Three phases, each with a bespoke data structure for its random accesses
+(Table 2):
+
+1. **HHH & HHN** — stream each vertex's hub-neighbour list from HE and
+   test all pairs against the H2H bit array (random accesses confined to
+   <= 256 MB of bits);
+2. **HNN** — for each non-hub vertex ``v`` and non-hub neighbour ``u``,
+   intersect the (16-bit) HE rows of ``u`` and ``v``;
+3. **NNN** — Forward-style merge intersections inside NHE only, never
+   touching hub edges (the Section 3.3 pruning).
+
+Each phase is exposed separately so the benchmarks can time the Figure 6
+breakdown; :func:`count_triangles_lotus` is the end-to-end entry point
+(preprocessing included, as the paper reports).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.structure import LotusConfig, LotusGraph, build_lotus_graph
+from repro.graph.csr import CSRGraph
+from repro.tc.intersect import batch_intersect_counts, batch_pairwise_counts
+from repro.tc.result import TCResult
+from repro.util.arrays import concat_ranges
+from repro.util.timer import PhaseTimer
+
+__all__ = [
+    "LotusCounts",
+    "count_hhh_hhn",
+    "count_hnn",
+    "count_nnn",
+    "lotus_count_from_structure",
+    "count_triangles_lotus",
+]
+
+# pair-generation chunk bound: caps peak memory of the phase-1 pair blocks
+_PAIR_CHUNK = 1 << 22
+
+
+@dataclass(frozen=True)
+class LotusCounts:
+    """Per-type triangle counts (the Figure 7 decomposition)."""
+
+    hhh: int
+    hhn: int
+    hnn: int
+    nnn: int
+
+    @property
+    def hub(self) -> int:
+        """Triangles containing at least one hub (HHH + HHN + HNN)."""
+        return self.hhh + self.hhn + self.hnn
+
+    @property
+    def total(self) -> int:
+        return self.hub + self.nnn
+
+    def hub_fraction(self) -> float:
+        return self.hub / self.total if self.total else 0.0
+
+
+def _batched_pair_count(lotus: LotusGraph, rows: np.ndarray) -> int:
+    """All-pairs H2H probes for many short neighbour lists at once.
+
+    Pairs across all ``rows`` are enumerated in one flat ordinal space and
+    decoded with the closed-form triangular inverse
+    ``i = floor((1 + sqrt(1 + 8p)) / 2)``, ``j = p - i(i-1)/2`` — no
+    Python loop over vertices.  ``rows`` must each have
+    ``<= _PAIR_CHUNK`` pairs; bigger rows go through
+    :func:`_count_pairs_against_h2h`.
+    """
+    he = lotus.he
+    deg = (he.indptr[rows + 1] - he.indptr[rows]).astype(np.int64)
+    pair_counts = deg * (deg - 1) // 2
+    total = 0
+    # group rows into chunks of ~_PAIR_CHUNK total pairs
+    cum = np.cumsum(pair_counts)
+    start = 0
+    while start < rows.size:
+        base = cum[start] - pair_counts[start]
+        stop = int(np.searchsorted(cum, base + _PAIR_CHUNK, side="left")) + 1
+        stop = min(max(stop, start + 1), rows.size)
+        sel = slice(start, stop)
+        counts = pair_counts[sel]
+        p = concat_ranges(np.zeros(stop - start, dtype=np.int64), counts)
+        i = ((1.0 + np.sqrt(1.0 + 8.0 * p)) / 2.0).astype(np.int64)
+        # guard against float rounding at triangular boundaries
+        tri = i * (i - 1) // 2
+        over = tri > p
+        i[over] -= 1
+        tri[over] = i[over] * (i[over] - 1) // 2
+        j = p - tri
+        under = j >= i
+        i[under] += 1
+        tri[under] = i[under] * (i[under] - 1) // 2
+        j[under] = p[under] - tri[under]
+        row_start = np.repeat(he.indptr[rows[sel]], counts)
+        h1 = he.indices[row_start + i].astype(np.int64, copy=False)
+        h2 = he.indices[row_start + j].astype(np.int64, copy=False)
+        total += int(np.count_nonzero(lotus.h2h.test_pairs(h1, h2)))
+        start = stop
+    return total
+
+
+def _count_pairs_against_h2h(lotus: LotusGraph, v: int) -> int:
+    """All-pairs H2H probes for one vertex's hub-neighbour list
+    (Algorithm 3 lines 3-5), chunked to bound memory."""
+    hs = lotus.he.neighbors(v).astype(np.int64, copy=False)
+    length = hs.size
+    if length < 2:
+        return 0
+    total = 0
+    # pairs (h1 = hs[i], h2 = hs[j<i]); generate in blocks of rows i
+    i = 1
+    while i < length:
+        # choose a row block [i, j) with ~_PAIR_CHUNK pairs
+        j = i
+        pairs = 0
+        while j < length and pairs + j < _PAIR_CHUNK:
+            pairs += j
+            j += 1
+        rows = np.arange(i, j, dtype=np.int64)
+        h1 = np.repeat(hs[rows], rows)
+        h2 = hs[concat_ranges(np.zeros(rows.size, dtype=np.int64), rows)]
+        total += int(np.count_nonzero(lotus.h2h.test_pairs(h1, h2)))
+        i = j
+    return total
+
+
+def count_hhh_hhn(lotus: LotusGraph) -> tuple[int, int]:
+    """Phase 1: triangles with >= 2 hubs.  Returns ``(hhh, hhn)``.
+
+    A pair (h1, h2) of hub neighbours of ``v`` forms a triangle iff
+    ``H2H.isSet(h1, h2)``; it is HHH when ``v`` itself is a hub, HHN
+    otherwise.  The split falls out of cutting the vertex loop at
+    ``hub_count``.
+    """
+    deg = lotus.he.degrees()
+    pair_counts = deg * (deg - 1) // 2
+    work = pair_counts > 0
+    big = work & (pair_counts > _PAIR_CHUNK)
+    small = work & ~big
+    results = []
+    for is_hub_range in (True, False):
+        vertex_sel = (
+            np.arange(lotus.num_vertices) < lotus.hub_count
+            if is_hub_range
+            else np.arange(lotus.num_vertices) >= lotus.hub_count
+        )
+        c = _batched_pair_count(lotus, np.flatnonzero(small & vertex_sel))
+        for v in np.flatnonzero(big & vertex_sel):
+            c += _count_pairs_against_h2h(lotus, int(v))
+        results.append(c)
+    return results[0], results[1]
+
+
+def count_hnn(lotus: LotusGraph, fused: bool = True) -> int:
+    """Phase 2: triangles with exactly one hub (Algorithm 3 lines 7-9).
+
+    For each vertex ``v`` and non-hub neighbour ``u`` (from NHE), count
+    common *hub* neighbours via the 16-bit HE rows.
+    """
+    he_indptr = lotus.he.indptr
+    he_indices = lotus.he.indices
+    nhe_indptr = lotus.nhe.indptr
+    nhe_indices = lotus.nhe.indices
+    if fused:
+        src = np.repeat(
+            np.arange(lotus.num_vertices, dtype=np.int64), np.diff(nhe_indptr)
+        )
+        dst = nhe_indices.astype(np.int64, copy=False)
+        return batch_pairwise_counts(
+            he_indptr, he_indices, he_indptr, he_indices, src, dst
+        )
+    total = 0
+    nhe_deg = np.diff(nhe_indptr)
+    he_deg = np.diff(he_indptr)
+    for v in np.flatnonzero((nhe_deg > 0) & (he_deg > 0)):
+        us = nhe_indices[nhe_indptr[v] : nhe_indptr[v + 1]]
+        query = he_indices[he_indptr[v] : he_indptr[v + 1]]
+        counts = batch_intersect_counts(
+            he_indptr, he_indices, query, us.astype(np.int64)
+        )
+        total += int(counts.sum())
+    return total
+
+
+def count_nnn(lotus: LotusGraph, fused: bool = True) -> int:
+    """Phase 3: triangles between three non-hubs (Algorithm 3 lines 10-12).
+
+    Forward-style counting restricted to the NHE sub-graph; hub edges are
+    never loaded (the fruitless-search pruning of Section 3.3).
+    """
+    indptr = lotus.nhe.indptr
+    indices = lotus.nhe.indices
+    if fused:
+        src = np.repeat(
+            np.arange(lotus.num_vertices, dtype=np.int64), np.diff(indptr)
+        )
+        dst = indices.astype(np.int64, copy=False)
+        return batch_pairwise_counts(indptr, indices, indptr, indices, src, dst)
+    total = 0
+    for v in np.flatnonzero(np.diff(indptr) >= 2):
+        row = indices[indptr[v] : indptr[v + 1]]
+        counts = batch_intersect_counts(indptr, indices, row, row.astype(np.int64))
+        total += int(counts.sum())
+    return total
+
+
+def lotus_count_from_structure(
+    lotus: LotusGraph, timer: PhaseTimer | None = None
+) -> LotusCounts:
+    """Run the three counting phases on a prebuilt structure."""
+    timer = timer or PhaseTimer()
+    with timer.phase("hhh+hhn"):
+        hhh, hhn = count_hhh_hhn(lotus)
+    with timer.phase("hnn"):
+        hnn = count_hnn(lotus)
+    with timer.phase("nnn"):
+        nnn = count_nnn(lotus)
+    return LotusCounts(hhh=hhh, hhn=hhn, hnn=hnn, nnn=nnn)
+
+
+def count_triangles_lotus(
+    graph: CSRGraph, config: LotusConfig | None = None
+) -> TCResult:
+    """End-to-end LOTUS triangle counting: Algorithm 2 + Algorithm 3.
+
+    The returned :class:`~repro.tc.result.TCResult` carries the phase
+    breakdown (Figure 6) in ``phases`` and the per-type counts (Figure 7)
+    plus the HE/NHE edge split (Figure 8) in ``extra``.
+    """
+    timer = PhaseTimer()
+    lotus = build_lotus_graph(graph, config, timer=timer)
+    counts = lotus_count_from_structure(lotus, timer=timer)
+    return TCResult(
+        algorithm="lotus",
+        triangles=counts.total,
+        elapsed=timer.total,
+        phases=dict(timer.phases),
+        extra={
+            "counts": counts,
+            "hub_count": lotus.hub_count,
+            "hub_edges": lotus.hub_edges,
+            "non_hub_edges": lotus.non_hub_edges,
+            "hub_edge_fraction": lotus.hub_edge_fraction(),
+        },
+    )

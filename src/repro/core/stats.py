@@ -1,0 +1,132 @@
+"""Hub analytics — the Table 1 measurements (Section 3).
+
+Given a graph and a hub-selection rule, compute:
+
+* the hub-to-hub / hub-to-non-hub / non-hub-to-non-hub edge split
+  (columns 2-5);
+* the fraction of triangles containing at least one hub (column 6);
+* the relative density of the hub sub-graph (column 7);
+* the fruitless-search fraction — how many merge-join edge accesses
+  performed while processing hub-free non-hub vertices point at hub
+  edges and could be pruned (column 8, Section 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.degree import hub_mask_top_fraction
+from repro.graph.reorder import apply_degree_ordering
+from repro.tc.matrix import count_triangles_matrix
+
+__all__ = ["HubCharacteristics", "hub_characteristics"]
+
+
+@dataclass(frozen=True)
+class HubCharacteristics:
+    """One row of Table 1."""
+
+    num_hubs: int
+    hub_to_hub_pct: float
+    hub_to_nonhub_pct: float
+    hub_edges_pct: float
+    nonhub_edges_pct: float
+    hub_triangles_pct: float
+    relative_density: float
+    fruitless_pct: float
+
+
+def hub_characteristics(
+    graph: CSRGraph, hub_fraction: float = 0.01
+) -> HubCharacteristics:
+    """Compute the Table-1 row for ``graph`` with top-``hub_fraction`` hubs."""
+    n = graph.num_vertices
+    m = graph.num_edges
+    if n == 0 or m == 0:
+        return HubCharacteristics(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+    hubs = hub_mask_top_fraction(graph, hub_fraction)
+    num_hubs = int(hubs.sum())
+
+    # --- edge split (columns 2-5) ------------------------------------------
+    edges = graph.edges()
+    u_hub = hubs[edges[:, 0]]
+    v_hub = hubs[edges[:, 1]]
+    hh = int(np.count_nonzero(u_hub & v_hub))
+    hn = int(np.count_nonzero(u_hub ^ v_hub))
+    nn = m - hh - hn
+
+    # --- hub triangle share (column 6) --------------------------------------
+    total_triangles = count_triangles_matrix(graph)
+    nonhub_graph = graph.subgraph_mask(~hubs)
+    nonhub_triangles = count_triangles_matrix(nonhub_graph)
+    hub_tri_pct = (
+        100.0 * (total_triangles - nonhub_triangles) / total_triangles
+        if total_triangles
+        else 0.0
+    )
+
+    # --- relative density (column 7) ----------------------------------------
+    # RD_S = (|E'| / |V'|^2) / (|E| / |V|^2)
+    if num_hubs > 0 and hh > 0:
+        rd = (hh / (num_hubs * num_hubs)) / (m / (n * n))
+    else:
+        rd = 0.0
+
+    return HubCharacteristics(
+        num_hubs=num_hubs,
+        hub_to_hub_pct=100.0 * hh / m,
+        hub_to_nonhub_pct=100.0 * hn / m,
+        hub_edges_pct=100.0 * (hh + hn) / m,
+        nonhub_edges_pct=100.0 * nn / m,
+        hub_triangles_pct=hub_tri_pct,
+        relative_density=rd,
+        fruitless_pct=fruitless_search_pct(graph, hubs),
+    )
+
+
+def fruitless_search_pct(graph: CSRGraph, hubs: np.ndarray) -> float:
+    """Fraction of merge-join memory accesses that touch hub edges while
+    processing non-hub vertices with no hub neighbours (Table 1 col. 8).
+
+    Replays the Forward algorithm's access pattern on the degree-ordered
+    graph (hubs get the lowest IDs, so hub entries sit at the front of
+    every sorted neighbour list and are always touched first by a merge
+    join).  For each qualifying vertex ``v`` — non-hub with
+    ``N_v^< ∩ Hubs = {}`` — and each ``u in N_v^<``, the merge join of
+    ``N_v^<`` with ``N_u^<`` touches a prefix of each list; touched
+    entries of ``N_u^<`` that are hub IDs are "fruitless" accesses
+    (they can never close a triangle with ``v``, Section 3.3).
+    """
+    num_hubs = int(np.asarray(hubs).sum())
+    if num_hubs == 0:
+        return 0.0
+    ordered, _ra = apply_degree_ordering(graph)
+    oriented = ordered.orient_lower()
+    indptr = oriented.indptr
+    indices = oriented.indices.astype(np.int64, copy=False)
+    # after degree ordering the hubs are exactly the IDs < num_hubs
+    total_touched = 0
+    hub_touched = 0
+    for v in range(num_hubs, oriented.num_vertices):
+        row = indices[indptr[v] : indptr[v + 1]]
+        if row.size == 0 or (row[0] < num_hubs):
+            continue  # v has a hub neighbour (hubs sort first) or no work
+        last_v = int(row[-1])
+        for u in row:
+            urow = indices[indptr[u] : indptr[u + 1]]
+            if urow.size == 0:
+                continue
+            # merge join touches the prefix of each list bounded by the
+            # other list's maximum (merge_join_touched rule)
+            touched_u = min(int(np.searchsorted(urow, last_v, side="right")) + 1, urow.size)
+            touched_v = min(int(np.searchsorted(row, int(urow[-1]), side="right")) + 1, row.size)
+            hubs_in_u = int(np.searchsorted(urow, num_hubs))
+            hub_touched += min(hubs_in_u, touched_u)
+            total_touched += touched_u + touched_v
+    if total_touched == 0:
+        return 0.0
+    return 100.0 * hub_touched / total_touched

@@ -1,0 +1,13 @@
+"""Evaluation harness: one entry point per paper table/figure.
+
+``repro.eval.experiments`` regenerates every table and figure of the
+paper's evaluation section on the synthetic dataset suite;
+``repro.eval.tables`` renders the results next to the paper's reported
+numbers.  The benchmark scripts under ``benchmarks/`` are thin wrappers
+around these functions.
+"""
+
+from repro.eval.harness import ExperimentResult, format_table, save_results
+from repro.eval import experiments
+
+__all__ = ["ExperimentResult", "format_table", "save_results", "experiments"]

@@ -1,0 +1,88 @@
+"""Experiment plumbing: result records, table rendering, persistence."""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["ExperimentResult", "format_table", "save_results"]
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table or figure.
+
+    ``rows`` is a list of dicts (one per table row / figure series point);
+    ``paper_reference`` records the headline numbers the paper reports so
+    EXPERIMENTS.md can juxtapose them.
+    """
+
+    experiment_id: str
+    title: str
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    paper_reference: dict[str, Any] = field(default_factory=dict)
+    notes: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "rows": self.rows,
+            "paper_reference": self.paper_reference,
+            "notes": self.notes,
+        }
+
+    def render(self) -> str:
+        """Human-readable rendering: header, table, paper reference."""
+        out = [f"== {self.experiment_id}: {self.title} =="]
+        if self.rows:
+            out.append(format_table(self.rows))
+        if self.paper_reference:
+            out.append("paper reference: " + json.dumps(self.paper_reference))
+        if self.notes:
+            out.append(f"note: {self.notes}")
+        return "\n".join(out)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    if isinstance(value, int) and abs(value) >= 10000:
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(rows: list[dict[str, Any]]) -> str:
+    """Render a list of dicts as an aligned ASCII table (union of keys)."""
+    if not rows:
+        return "(empty)"
+    headers: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in headers:
+                headers.append(key)
+    cells = [[_fmt(row.get(h, "")) for h in headers] for row in rows]
+    widths = [
+        max(len(h), *(len(c[i]) for c in cells)) for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for c in cells:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(c, widths)))
+    return "\n".join(lines)
+
+
+def save_results(results: list[ExperimentResult], path: str | os.PathLike) -> None:
+    """Dump experiment results as JSON for EXPERIMENTS.md regeneration."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump([r.to_dict() for r in results], fh, indent=2)

@@ -1,0 +1,111 @@
+"""Graph substrate: CSR storage, builders, IO, generators, analytics.
+
+This package implements the CSX (compressed sparse rows/columns)
+representation the paper builds on (Section 2.1), the degree-ordering
+machinery of the Forward algorithm (Section 2.2/3.1), and synthetic
+power-law generators standing in for the paper's 14 real-world datasets
+(Table 4) — see DESIGN.md §1 for the substitution rationale.
+"""
+
+from repro.graph.csr import CSRGraph, OrientedGraph
+from repro.graph.build import (
+    from_edges,
+    from_sparse,
+    to_sparse,
+    normalize_edges,
+)
+from repro.graph.generators import (
+    erdos_renyi,
+    chung_lu,
+    powerlaw_chung_lu,
+    rmat,
+    barabasi_albert,
+    watts_strogatz,
+    complete_graph,
+    star_graph,
+    cycle_graph,
+    empty_graph,
+)
+from repro.graph.degree import (
+    degree_statistics,
+    is_skewed,
+    hub_mask_top_fraction,
+    hub_mask_top_k,
+)
+from repro.graph.reorder import (
+    degree_ordering_permutation,
+    lotus_relabeling_array,
+    relabel,
+    apply_degree_ordering,
+)
+from repro.graph.io import (
+    save_npz,
+    load_npz,
+    save_edgelist,
+    load_edgelist,
+)
+from repro.graph.datasets import (
+    DATASETS,
+    DatasetSpec,
+    load_dataset,
+    dataset_names,
+)
+from repro.graph.analytics import (
+    core_numbers,
+    degeneracy,
+    degeneracy_ordering,
+    wedge_count,
+)
+from repro.graph.compress import (
+    CompressedCSX,
+    compress_graph,
+    load_compressed,
+    save_compressed,
+    varint_decode,
+    varint_encode,
+)
+
+__all__ = [
+    "CSRGraph",
+    "OrientedGraph",
+    "from_edges",
+    "from_sparse",
+    "to_sparse",
+    "normalize_edges",
+    "erdos_renyi",
+    "chung_lu",
+    "powerlaw_chung_lu",
+    "rmat",
+    "barabasi_albert",
+    "watts_strogatz",
+    "complete_graph",
+    "star_graph",
+    "cycle_graph",
+    "empty_graph",
+    "degree_statistics",
+    "is_skewed",
+    "hub_mask_top_fraction",
+    "hub_mask_top_k",
+    "degree_ordering_permutation",
+    "lotus_relabeling_array",
+    "relabel",
+    "apply_degree_ordering",
+    "save_npz",
+    "load_npz",
+    "save_edgelist",
+    "load_edgelist",
+    "DATASETS",
+    "DatasetSpec",
+    "load_dataset",
+    "dataset_names",
+    "core_numbers",
+    "degeneracy",
+    "degeneracy_ordering",
+    "wedge_count",
+    "CompressedCSX",
+    "compress_graph",
+    "load_compressed",
+    "save_compressed",
+    "varint_decode",
+    "varint_encode",
+]

@@ -1,0 +1,179 @@
+"""Compressed neighbour-list (CSX) encoding — the Section 3.2 study.
+
+The paper motivates LOTUS's 16-bit HE IDs with coding theory: hub IDs
+occur in most neighbour lists, so spending a fixed 32 bits on them is
+wasteful.  This module provides a WebGraph-flavoured delta + varint row
+encoding so the compactness argument can be *measured*: after the LOTUS
+relabeling puts hubs at the smallest IDs, the frequent IDs become the
+cheapest to encode and the topology shrinks — without any per-edge
+entropy coder (the paper's "no runtime overhead" requirement rules
+Huffman out; varint decoding is a few shifts per edge).
+
+Encoding: each row stores its first neighbour as an absolute varint,
+then the successive gaps minus one (rows are strictly increasing).
+Varints use 7 payload bits per byte, little-endian, MSB as continuation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "varint_encode",
+    "varint_decode",
+    "CompressedCSX",
+    "compress_graph",
+    "save_compressed",
+    "load_compressed",
+]
+
+_THRESHOLDS = [1 << (7 * k) for k in range(1, 10)]
+
+
+def varint_encode(values: np.ndarray) -> np.ndarray:
+    """Encode non-negative integers as little-endian base-128 varints.
+
+    Fully vectorised: one pass per byte position (at most 10 for 64-bit
+    values).  Returns a ``uint8`` array.
+    """
+    v = np.asarray(values)
+    if v.size and v.min() < 0:
+        raise ValueError("varint values must be non-negative")
+    v = v.astype(np.uint64, copy=False)
+    nbytes = np.ones(v.size, dtype=np.int64)
+    for t in _THRESHOLDS:
+        nbytes += v >= t
+    total = int(nbytes.sum())
+    out = np.zeros(total, dtype=np.uint8)
+    starts = np.cumsum(nbytes) - nbytes
+    max_len = int(nbytes.max()) if v.size else 0
+    for j in range(max_len):
+        sel = nbytes > j
+        byte = (v[sel] >> np.uint64(7 * j)) & np.uint64(0x7F)
+        more = (nbytes[sel] - 1 > j).astype(np.uint8) << 7
+        out[starts[sel] + j] = byte.astype(np.uint8) | more
+    return out
+
+
+def varint_decode(data: np.ndarray) -> np.ndarray:
+    """Decode a concatenation of varints back to a ``uint64`` array.
+
+    Vectorised: value boundaries are the bytes whose continuation bit is
+    clear; payloads are accumulated by byte position within each value.
+    """
+    data = np.asarray(data, dtype=np.uint8)
+    if data.size == 0:
+        return np.empty(0, dtype=np.uint64)
+    is_last = (data & 0x80) == 0
+    if not is_last[-1]:
+        raise ValueError("truncated varint stream")
+    # value index of every byte: 0-based, increments after each terminator
+    value_id = np.zeros(data.size, dtype=np.int64)
+    value_id[1:] = np.cumsum(is_last[:-1])
+    num_values = int(value_id[-1]) + 1
+    # byte position within its value
+    starts = np.zeros(num_values, dtype=np.int64)
+    starts[1:] = np.flatnonzero(is_last)[:-1] + 1
+    pos = np.arange(data.size, dtype=np.int64) - starts[value_id]
+    if int(pos.max()) * 7 >= 64:
+        raise ValueError("varint too long for uint64")
+    out = np.zeros(num_values, dtype=np.uint64)
+    np.add.at(
+        out,
+        value_id,
+        (data.astype(np.uint64) & np.uint64(0x7F)) << (7 * pos).astype(np.uint64),
+    )
+    return out
+
+
+class CompressedCSX:
+    """Delta+varint compressed neighbour lists with per-row byte offsets."""
+
+    __slots__ = ("row_offsets", "data", "num_vertices", "num_arcs")
+
+    def __init__(self, row_offsets: np.ndarray, data: np.ndarray, num_arcs: int) -> None:
+        self.row_offsets = row_offsets
+        self.data = data
+        self.num_vertices = row_offsets.size - 1
+        self.num_arcs = num_arcs
+
+    @property
+    def nbytes(self) -> int:
+        """Payload bytes plus the 8-byte-per-row offset array (Table 7 style)."""
+        return int(self.data.nbytes) + 8 * (self.num_vertices + 1)
+
+    def bytes_per_arc(self) -> float:
+        return self.data.nbytes / self.num_arcs if self.num_arcs else 0.0
+
+    def decode_row(self, v: int) -> np.ndarray:
+        """Neighbour list of ``v`` (sorted ascending, as encoded)."""
+        chunk = self.data[self.row_offsets[v] : self.row_offsets[v + 1]]
+        if chunk.size == 0:
+            return np.empty(0, dtype=np.int64)
+        deltas = varint_decode(chunk).astype(np.int64)
+        deltas[1:] += 1  # gaps were stored as (gap - 1)
+        return np.cumsum(deltas)
+
+    def decode(self) -> CSRGraph:
+        """Round-trip back to an uncompressed :class:`CSRGraph`."""
+        rows = [self.decode_row(v) for v in range(self.num_vertices)]
+        counts = np.array([r.size for r in rows], dtype=np.int64)
+        indptr = np.zeros(self.num_vertices + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        indices = (
+            np.concatenate(rows) if counts.sum() else np.empty(0, dtype=np.int64)
+        )
+        return CSRGraph(indptr, indices.astype(np.uint32))
+
+
+def compress_graph(graph: CSRGraph) -> CompressedCSX:
+    """Compress every (sorted) row of ``graph``.
+
+    Row encoding: absolute first neighbour, then successive gaps minus 1.
+    The whole transform is vectorised: deltas for all rows are computed
+    in one pass and varint-encoded in one call; per-row byte offsets are
+    recovered from the per-value byte lengths.
+    """
+    n = graph.num_vertices
+    indptr, indices = graph.indptr, graph.indices.astype(np.int64, copy=False)
+    if indices.size == 0:
+        return CompressedCSX(np.zeros(n + 1, dtype=np.int64), np.empty(0, dtype=np.uint8), 0)
+    deg = graph.degrees()
+    # delta transform: first element absolute, others gap-1
+    deltas = indices.copy()
+    row_first = indptr[:-1][deg > 0]
+    interior = np.ones(indices.size, dtype=bool)
+    interior[row_first] = False
+    deltas[interior] = indices[interior] - indices[np.flatnonzero(interior) - 1] - 1
+    encoded = varint_encode(deltas)
+    # per-value byte length -> per-row byte counts -> offsets
+    value_bytes = np.ones(indices.size, dtype=np.int64)
+    d = deltas.astype(np.uint64)
+    for t in _THRESHOLDS:
+        value_bytes += d >= t
+    row_bytes = np.zeros(n, dtype=np.int64)
+    owner = np.repeat(np.arange(n, dtype=np.int64), deg)
+    np.add.at(row_bytes, owner, value_bytes)
+    row_offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(row_bytes, out=row_offsets[1:])
+    return CompressedCSX(row_offsets, encoded, int(indices.size))
+
+
+def save_compressed(path, compressed: CompressedCSX) -> None:
+    """Persist a :class:`CompressedCSX` to an ``.npz`` file."""
+    np.savez_compressed(
+        path,
+        row_offsets=compressed.row_offsets,
+        data=compressed.data,
+        num_arcs=np.int64(compressed.num_arcs),
+    )
+
+
+def load_compressed(path) -> CompressedCSX:
+    """Load a :class:`CompressedCSX` saved by :func:`save_compressed`."""
+    with np.load(path) as blob:
+        return CompressedCSX(
+            blob["row_offsets"], blob["data"], int(blob["num_arcs"])
+        )

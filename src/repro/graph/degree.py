@@ -1,0 +1,129 @@
+"""Degree-distribution analytics and skew detection.
+
+Implements the hub-selection predicates used throughout the paper
+(top-k / top-fraction by degree, Section 2.1 and 4.2) and the skew
+detection heuristic of Section 5.5 (GAP-style comparison of average and
+sampled median degree) that decides whether LOTUS or plain Forward should
+run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.util.rng import make_rng
+
+__all__ = [
+    "DegreeStatistics",
+    "degree_statistics",
+    "hub_mask_top_k",
+    "hub_mask_top_fraction",
+    "is_skewed",
+]
+
+
+@dataclass(frozen=True)
+class DegreeStatistics:
+    """Summary statistics of a degree distribution."""
+
+    num_vertices: int
+    num_edges: int
+    min_degree: int
+    max_degree: int
+    mean_degree: float
+    median_degree: float
+    # Gini coefficient of the degree distribution: 0 = uniform,
+    # -> 1 = extremely skewed.  A scale-free distribution has high Gini.
+    gini: float
+
+    @property
+    def skew_ratio(self) -> float:
+        """mean / median — > 1 signals a heavy tail (GAP's heuristic)."""
+        if self.median_degree == 0:
+            return float("inf") if self.mean_degree > 0 else 1.0
+        return self.mean_degree / self.median_degree
+
+
+def degree_statistics(graph: CSRGraph) -> DegreeStatistics:
+    """Compute :class:`DegreeStatistics` for ``graph``."""
+    deg = graph.degrees()
+    if deg.size == 0:
+        return DegreeStatistics(0, 0, 0, 0, 0.0, 0.0, 0.0)
+    sorted_deg = np.sort(deg)
+    n = deg.size
+    total = float(sorted_deg.sum())
+    if total == 0:
+        gini = 0.0
+    else:
+        # Gini = (2 * sum(i * x_i) / (n * sum x)) - (n + 1) / n, x sorted asc
+        i = np.arange(1, n + 1, dtype=np.float64)
+        gini = float(2.0 * np.dot(i, sorted_deg) / (n * total) - (n + 1) / n)
+    return DegreeStatistics(
+        num_vertices=n,
+        num_edges=graph.num_edges,
+        min_degree=int(sorted_deg[0]),
+        max_degree=int(sorted_deg[-1]),
+        mean_degree=float(deg.mean()),
+        median_degree=float(np.median(sorted_deg)),
+        gini=gini,
+    )
+
+
+def hub_mask_top_k(graph: CSRGraph, k: int) -> np.ndarray:
+    """Boolean mask of the ``k`` highest-degree vertices.
+
+    Ties are broken by lower vertex ID (deterministic).  This is the
+    paper's hub rule: LOTUS selects the 64K highest-degree vertices
+    (Section 4.2); Table 1 uses the top 1 %.
+    """
+    n = graph.num_vertices
+    k = min(int(k), n)
+    mask = np.zeros(n, dtype=bool)
+    if k == 0:
+        return mask
+    deg = graph.degrees()
+    # stable argsort on (-degree, id): lexsort keys are last-key-major
+    order = np.lexsort((np.arange(n), -deg))
+    mask[order[:k]] = True
+    return mask
+
+
+def hub_mask_top_fraction(graph: CSRGraph, fraction: float) -> np.ndarray:
+    """Boolean mask of the top ``fraction`` of vertices by degree (Table 1 uses 1 %)."""
+    if not (0.0 <= fraction <= 1.0):
+        raise ValueError("fraction must be in [0, 1]")
+    k = int(round(graph.num_vertices * fraction))
+    return hub_mask_top_k(graph, k)
+
+
+def is_skewed(
+    graph: CSRGraph,
+    threshold: float = 3.0,
+    sample_size: int = 1024,
+    seed: int | None = 0,
+) -> bool:
+    """Skew detector in the spirit of GAP's sampling heuristic (Section 5.5).
+
+    Samples ``sample_size`` vertices, compares the graph's average degree
+    to the sampled median; a mean/median ratio above ``threshold`` (default 3.0)
+    indicates a heavy-tailed (power-law) degree distribution where LOTUS's
+    hub machinery pays off.  Non-skewed graphs should fall back to the
+    Forward algorithm.
+    """
+    n = graph.num_vertices
+    if n == 0 or graph.num_edges == 0:
+        return False
+    deg = graph.degrees()
+    rng = make_rng(seed)
+    if n > sample_size:
+        sample = deg[rng.choice(n, size=sample_size, replace=False)]
+    else:
+        sample = deg
+    median = float(np.median(sample))
+    mean = float(deg.mean())
+    if median == 0:
+        return mean > 1.0
+    return (mean / median) >= threshold

@@ -1,0 +1,277 @@
+"""Synthetic graph generators.
+
+These stand in for the paper's real-world datasets (Table 4): the LOTUS
+claims derive from the *power-law structure* of the graphs — skewed degree
+distribution, dense hub sub-graph — which the Chung-Lu and R-MAT models
+reproduce at laptop scale (see DESIGN.md §1).
+
+All generators return a validated, simple, undirected :class:`CSRGraph`
+and are deterministic given ``seed``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.build import from_edges
+from repro.graph.csr import CSRGraph
+from repro.util.rng import make_rng
+from repro.util.validation import check_nonnegative_int, check_probability
+
+__all__ = [
+    "erdos_renyi",
+    "chung_lu",
+    "powerlaw_chung_lu",
+    "rmat",
+    "barabasi_albert",
+    "watts_strogatz",
+    "complete_graph",
+    "star_graph",
+    "cycle_graph",
+    "empty_graph",
+]
+
+
+def empty_graph(n: int) -> CSRGraph:
+    """Graph on ``n`` vertices with no edges."""
+    check_nonnegative_int(n, "n")
+    return from_edges(np.empty((0, 2), dtype=np.int64), num_vertices=n)
+
+
+def complete_graph(n: int) -> CSRGraph:
+    """Complete graph K_n — every pair of vertices connected."""
+    check_nonnegative_int(n, "n")
+    iu = np.triu_indices(n, k=1)
+    return from_edges(np.column_stack(iu).astype(np.int64), num_vertices=n)
+
+
+def star_graph(n: int) -> CSRGraph:
+    """Star: vertex 0 connected to vertices 1..n-1 (the extreme hub)."""
+    check_nonnegative_int(n, "n")
+    if n < 2:
+        return empty_graph(n)
+    spokes = np.arange(1, n, dtype=np.int64)
+    edges = np.column_stack([np.zeros_like(spokes), spokes])
+    return from_edges(edges, num_vertices=n)
+
+
+def cycle_graph(n: int) -> CSRGraph:
+    """Cycle C_n (triangle-free for n != 3)."""
+    check_nonnegative_int(n, "n")
+    if n < 3:
+        return empty_graph(n)
+    v = np.arange(n, dtype=np.int64)
+    edges = np.column_stack([v, (v + 1) % n])
+    return from_edges(edges, num_vertices=n)
+
+
+def erdos_renyi(n: int, p: float, seed: int | None = 0) -> CSRGraph:
+    """G(n, p) random graph.
+
+    Uses geometric skipping so memory is O(expected edges), not O(n^2).
+    """
+    check_nonnegative_int(n, "n")
+    check_probability(p, "p")
+    rng = make_rng(seed)
+    total_pairs = n * (n - 1) // 2
+    if total_pairs == 0 or p == 0.0:
+        return empty_graph(n)
+    if p == 1.0:
+        return complete_graph(n)
+    # sample the linear indices of present pairs by geometric gaps
+    expected = total_pairs * p
+    picks: list[np.ndarray] = []
+    pos = -1
+    # draw in chunks to stay vectorised
+    chunk = max(1024, int(expected * 1.2))
+    log1mp = np.log1p(-p)
+    while pos < total_pairs:
+        gaps = np.floor(np.log1p(-rng.random(chunk)) / log1mp).astype(np.int64) + 1
+        idx = pos + np.cumsum(gaps)
+        picks.append(idx[idx < total_pairs])
+        if idx.size == 0 or idx[-1] >= total_pairs:
+            break
+        pos = int(idx[-1])
+    lin = np.concatenate(picks) if picks else np.empty(0, dtype=np.int64)
+    lin = np.unique(lin)
+    # invert linear index over the strict upper triangle: pair (u, v), u < v
+    # row u starts at offset u*n - u*(u+1)/2 - u ... use search over cumulative row sizes
+    row_sizes = np.arange(n - 1, 0, -1, dtype=np.int64)
+    row_starts = np.zeros(n, dtype=np.int64)
+    np.cumsum(row_sizes, out=row_starts[1:])
+    u = np.searchsorted(row_starts, lin, side="right") - 1
+    v = lin - row_starts[u] + u + 1
+    return from_edges(np.column_stack([u, v]), num_vertices=n)
+
+
+def chung_lu(weights: np.ndarray, seed: int | None = 0) -> CSRGraph:
+    """Chung-Lu random graph with expected degrees ``weights``.
+
+    Edge (u, v) appears with probability ``min(1, w_u * w_v / W)`` where
+    ``W = sum(weights)``.  Implemented with the efficient "weight bucket"
+    scheme: vertices sorted by weight descending, edges sampled per source
+    with geometric skipping — O(m + n) expected time.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 1:
+        raise ValueError("weights must be 1-D")
+    if weights.size and weights.min() < 0:
+        raise ValueError("weights must be non-negative")
+    n = weights.size
+    total = weights.sum()
+    if n == 0 or total == 0:
+        return empty_graph(n)
+    rng = make_rng(seed)
+    order = np.argsort(-weights, kind="stable")
+    w = weights[order]
+    src_list: list[np.ndarray] = []
+    dst_list: list[np.ndarray] = []
+    # classic Miller-Hagberg style sequential scan per source vertex
+    for i in range(n - 1):
+        wi = w[i]
+        if wi == 0:
+            break
+        j = i + 1
+        p = min(1.0, wi * w[j] / total)
+        while j < n and p > 0:
+            if p < 1.0:
+                # geometric skip ahead
+                r = rng.random()
+                j += int(np.log(r) / np.log1p(-p)) if p < 1.0 else 0
+            if j < n:
+                q = min(1.0, wi * w[j] / total)
+                if rng.random() < q / p:
+                    src_list.append(np.int64(i))
+                    dst_list.append(np.int64(j))
+                p = q
+                j += 1
+    if not src_list:
+        return empty_graph(n)
+    src = order[np.asarray(src_list, dtype=np.int64)]
+    dst = order[np.asarray(dst_list, dtype=np.int64)]
+    return from_edges(np.column_stack([src, dst]), num_vertices=n)
+
+
+def powerlaw_weights(n: int, exponent: float, avg_degree: float) -> np.ndarray:
+    """Expected-degree sequence following a power law with given exponent.
+
+    ``w_i ∝ (i + i0)^(-1/(exponent-1))`` scaled so the mean is
+    ``avg_degree``; ``exponent`` is the tail exponent gamma (typically
+    2–3 for social networks).
+    """
+    if exponent <= 1.0:
+        raise ValueError("exponent must be > 1")
+    i = np.arange(n, dtype=np.float64)
+    raw = (i + 1.0) ** (-1.0 / (exponent - 1.0))
+    raw *= avg_degree * n / raw.sum()
+    return raw
+
+
+def powerlaw_chung_lu(
+    n: int, avg_degree: float, exponent: float = 2.1, seed: int | None = 0,
+    max_degree_fraction: float = 0.5,
+) -> CSRGraph:
+    """Chung-Lu graph with a power-law expected degree sequence.
+
+    This is the primary stand-in for the paper's social-network datasets:
+    a small fraction of hub vertices attracts a disproportionately large
+    fraction of the edges, and hubs are densely interconnected — exactly
+    the Table-1 statistics LOTUS exploits.
+    """
+    check_nonnegative_int(n, "n")
+    w = powerlaw_weights(n, exponent, avg_degree)
+    w = np.minimum(w, max_degree_fraction * n)
+    return chung_lu(w, seed=seed)
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 16,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int | None = 0,
+) -> CSRGraph:
+    """R-MAT / Kronecker graph on ``2**scale`` vertices.
+
+    The Graph500 parameterisation (a=0.57, b=c=0.19, d=0.05) produces the
+    heavy-tailed degree distribution and community structure typical of the
+    paper's web graphs.  Duplicate edges and self loops generated by the
+    recursive process are removed, so the final edge count is slightly
+    below ``edge_factor * 2**scale``.
+    """
+    check_nonnegative_int(scale, "scale")
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0:
+        raise ValueError("quadrant probabilities must be non-negative and sum <= 1")
+    n = 1 << scale
+    m = edge_factor * n
+    rng = make_rng(seed)
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    for bit in range(scale):
+        r = rng.random(m)
+        # quadrant choice: [a | b / c | d]
+        go_down = r >= a + b  # row bit set
+        go_right = ((r >= a) & (r < a + b)) | (r >= a + b + c)  # col bit set
+        src |= go_down.astype(np.int64) << bit
+        dst |= go_right.astype(np.int64) << bit
+    return from_edges(np.column_stack([src, dst]), num_vertices=n)
+
+
+def barabasi_albert(n: int, m: int, seed: int | None = 0) -> CSRGraph:
+    """Barabási-Albert preferential attachment: each new vertex adds ``m`` edges.
+
+    Uses the repeated-nodes list trick for O(m·n) time.
+    """
+    check_nonnegative_int(n, "n")
+    check_nonnegative_int(m, "m")
+    if m < 1 or n <= m:
+        raise ValueError("need 1 <= m < n")
+    rng = make_rng(seed)
+    src: list[int] = []
+    dst: list[int] = []
+    # start from a star on m+1 vertices so every early vertex has degree >= 1
+    repeated: list[int] = []
+    for v in range(1, m + 1):
+        src.append(0)
+        dst.append(v)
+        repeated.extend((0, v))
+    for v in range(m + 1, n):
+        targets: set[int] = set()
+        while len(targets) < m:
+            targets.add(repeated[rng.integers(len(repeated))])
+        for t in targets:
+            src.append(v)
+            dst.append(t)
+            repeated.extend((v, t))
+    edges = np.column_stack([np.asarray(src, dtype=np.int64), np.asarray(dst, dtype=np.int64)])
+    return from_edges(edges, num_vertices=n)
+
+
+def watts_strogatz(n: int, k: int, p: float, seed: int | None = 0) -> CSRGraph:
+    """Watts-Strogatz small world: ring lattice with ``k`` neighbours, rewired with prob ``p``.
+
+    A *non*-skewed graph — used to exercise the Section 5.5 fallback path
+    where LOTUS should detect low skew and defer to the Forward algorithm.
+    """
+    check_nonnegative_int(n, "n")
+    check_nonnegative_int(k, "k")
+    check_probability(p, "p")
+    if k % 2 != 0:
+        raise ValueError("k must be even")
+    if n <= k:
+        raise ValueError("need n > k")
+    rng = make_rng(seed)
+    v = np.arange(n, dtype=np.int64)
+    src_parts = []
+    dst_parts = []
+    for off in range(1, k // 2 + 1):
+        src_parts.append(v)
+        dst_parts.append((v + off) % n)
+    src = np.concatenate(src_parts)
+    dst = np.concatenate(dst_parts)
+    rewire = rng.random(src.size) < p
+    dst = dst.copy()
+    dst[rewire] = rng.integers(0, n, size=int(rewire.sum()))
+    return from_edges(np.column_stack([src, dst]), num_vertices=n)

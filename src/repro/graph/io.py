@@ -1,0 +1,60 @@
+"""Graph serialisation: whitespace edge lists and compressed ``.npz``.
+
+The ``.npz`` format stores the CSR arrays directly and round-trips
+bit-exactly; the edge-list format interoperates with common graph tool
+chains (SNAP/KONECT style: one ``u v`` pair per line, ``#`` comments).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.graph.build import from_edges
+from repro.graph.csr import CSRGraph
+
+__all__ = ["save_npz", "load_npz", "save_edgelist", "load_edgelist"]
+
+
+def save_npz(path: str | os.PathLike, graph: CSRGraph) -> None:
+    """Save ``graph`` to ``path`` in compressed npz form."""
+    np.savez_compressed(path, indptr=graph.indptr, indices=graph.indices)
+
+
+def load_npz(path: str | os.PathLike) -> CSRGraph:
+    """Load a graph saved by :func:`save_npz`."""
+    with np.load(path) as data:
+        return CSRGraph(data["indptr"], data["indices"])
+
+
+def save_edgelist(path: str | os.PathLike, graph: CSRGraph) -> None:
+    """Write each undirected edge once as ``u v`` per line."""
+    edges = graph.edges()
+    with open(path, "w", encoding="ascii") as fh:
+        fh.write(f"# vertices {graph.num_vertices}\n")
+        for u, v in edges:
+            fh.write(f"{u} {v}\n")
+
+
+def load_edgelist(path: str | os.PathLike, num_vertices: int | None = None) -> CSRGraph:
+    """Read a whitespace edge list; ``#`` lines are comments.
+
+    A ``# vertices N`` header (as written by :func:`save_edgelist`) fixes
+    the vertex count; otherwise it is inferred from the max endpoint.
+    """
+    pairs: list[tuple[int, int]] = []
+    with open(path, "r", encoding="ascii") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line[1:].split()
+                if len(parts) == 2 and parts[0] == "vertices" and num_vertices is None:
+                    num_vertices = int(parts[1])
+                continue
+            a, b = line.split()[:2]
+            pairs.append((int(a), int(b)))
+    edges = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+    return from_edges(edges, num_vertices=num_vertices)

@@ -1,0 +1,134 @@
+"""Set-associative LRU cache simulator.
+
+Trace-driven: the unit of access is a *cache line number* (an int64
+address already divided by the line size), which keeps the hot loop free
+of address arithmetic.  Consecutive repeats of the same line are
+collapsed before simulation (they are guaranteed hits) so streamed
+accesses cost almost nothing to simulate.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CacheStats", "SetAssociativeCache", "compress_consecutive"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache level."""
+
+    accesses: int = 0
+    hits: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.accesses - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def merge(self, other: "CacheStats") -> None:
+        self.accesses += other.accesses
+        self.hits += other.hits
+
+
+def compress_consecutive(lines: np.ndarray) -> tuple[np.ndarray, int]:
+    """Collapse runs of identical consecutive lines.
+
+    Returns ``(unique_transition_lines, collapsed_count)``: re-accessing
+    the line you just touched is always a hit in every level, so only
+    transitions need simulation.  ``collapsed_count`` is credited as hits
+    at the first level.
+    """
+    lines = np.asarray(lines, dtype=np.int64)
+    if lines.size == 0:
+        return lines, 0
+    keep = np.empty(lines.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(lines[1:], lines[:-1], out=keep[1:])
+    compressed = lines[keep]
+    return compressed, int(lines.size - compressed.size)
+
+
+class SetAssociativeCache:
+    """LRU set-associative cache over line numbers.
+
+    ``size_bytes`` / ``line_bytes`` / ``ways`` follow the usual geometry;
+    the number of sets must come out a positive power of two is *not*
+    required (we use modulo indexing).  ``ways=0`` or ``size_bytes=0``
+    disables the level (everything misses).
+    """
+
+    def __init__(
+        self,
+        size_bytes: int,
+        line_bytes: int = 64,
+        ways: int = 8,
+        name: str = "cache",
+    ) -> None:
+        if size_bytes < 0 or line_bytes <= 0 or ways < 0:
+            raise ValueError("invalid cache geometry")
+        self.name = name
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.num_sets = max(size_bytes // (line_bytes * max(ways, 1)), 0)
+        self.size_bytes = self.num_sets * line_bytes * ways
+        self.stats = CacheStats()
+        # one LRU (OrderedDict keyed by line) per set
+        self._sets: list[OrderedDict[int, None]] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+
+    def reset(self) -> None:
+        """Clear contents and statistics."""
+        self.stats = CacheStats()
+        for s in self._sets:
+            s.clear()
+
+    def access_lines(self, lines: np.ndarray) -> np.ndarray:
+        """Simulate the access sequence; returns the array of *missed* lines
+        in order (to be replayed against the next level).
+
+        The input should already be consecutive-compressed; this method
+        does not re-compress.
+        """
+        lines = np.asarray(lines, dtype=np.int64)
+        n = lines.size
+        self.stats.accesses += n
+        if n == 0:
+            return lines
+        if self.num_sets == 0:
+            return lines  # disabled level: all miss
+        nsets = self.num_sets
+        ways = self.ways
+        sets = self._sets
+        misses: list[int] = []
+        hits = 0
+        for line in lines.tolist():
+            s = sets[line % nsets]
+            if line in s:
+                s.move_to_end(line)
+                hits += 1
+            else:
+                misses.append(line)
+                s[line] = None
+                if len(s) > ways:
+                    s.popitem(last=False)
+        self.stats.hits += hits
+        return np.asarray(misses, dtype=np.int64)
+
+    def credit_hits(self, count: int) -> None:
+        """Account ``count`` guaranteed hits (from consecutive compression)."""
+        self.stats.accesses += count
+        self.stats.hits += count
+
+    def __repr__(self) -> str:
+        return (
+            f"SetAssociativeCache({self.name}, {self.size_bytes}B, "
+            f"{self.num_sets}x{self.ways}w x {self.line_bytes}B)"
+        )

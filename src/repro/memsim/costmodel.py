@@ -1,0 +1,100 @@
+"""First-order machine time model.
+
+Combines the op-count model (compute work) with the hierarchy replay
+(memory stalls) into modelled seconds on a given machine:
+
+``time = (instructions / IPC
+          + sum_level hits_level * latency_level
+          + branch_mispredicts * penalty) / (frequency * effective_cores)``
+
+The model's purpose is *ranking and ratios* (who wins, by roughly what
+factor — the Table 5/6 reproduction target), not absolute wall-clock
+prediction; DESIGN.md §6 records this deviation explicitly.  Parallel
+efficiency follows a simple saturation law: memory-bound algorithms stop
+scaling once the memory system saturates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memsim.hierarchy import HierarchyStats
+from repro.memsim.machines import MachineSpec
+from repro.memsim.opcounts import OpCounts
+
+__all__ = ["CostModel", "modeled_seconds"]
+
+# memory-parallelism cap: a multicore machine overlaps this many DRAM
+# accesses, so effective parallel speedup for the memory component is
+# min(cores, _MEMORY_PARALLELISM)
+_MEMORY_PARALLELISM = 24.0
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Breakdown of the modelled execution time (cycles and seconds)."""
+
+    compute_cycles: float
+    l1_cycles: float
+    l2_cycles: float
+    l3_cycles: float
+    dram_cycles: float
+    branch_cycles: float
+    tlb_cycles: float
+    seconds_single_core: float
+    seconds_parallel: float
+
+    @property
+    def total_cycles(self) -> float:
+        return (
+            self.compute_cycles
+            + self.l1_cycles
+            + self.l2_cycles
+            + self.l3_cycles
+            + self.dram_cycles
+            + self.branch_cycles
+            + self.tlb_cycles
+        )
+
+
+def modeled_seconds(
+    ops: OpCounts,
+    mem: HierarchyStats,
+    machine: MachineSpec,
+    threads: int | None = None,
+) -> CostModel:
+    """Model the run time of an algorithm on ``machine``.
+
+    ``ops`` comes from :mod:`repro.memsim.opcounts`, ``mem`` from a
+    hierarchy replay with the (scaled) machine spec.  ``threads``
+    defaults to all cores.
+    """
+    threads = machine.cores if threads is None else threads
+    hz = machine.frequency_ghz * 1e9
+
+    compute = ops.instructions / machine.base_ipc
+    l1 = mem.l1_hits * machine.l1_latency_cycles
+    l2 = mem.l2_hits * machine.l2_latency_cycles
+    l3 = mem.l3_hits * machine.l3_latency_cycles
+    dram = mem.dram_accesses * machine.memory_latency_cycles
+    branch = ops.branch_mispredicts * machine.branch_miss_penalty_cycles
+    # a TLB miss costs a page-walk (~2 cache accesses, first order)
+    tlb = mem.dtlb_misses * 2.0 * machine.l2_latency_cycles
+
+    single = (compute + l1 + l2 + l3 + dram + branch + tlb) / hz
+
+    cpu_part = (compute + l1 + l2 + branch) / max(threads, 1)
+    mem_part = (l3 + dram + tlb) / min(max(threads, 1), _MEMORY_PARALLELISM)
+    parallel = (cpu_part + mem_part) / hz
+
+    return CostModel(
+        compute_cycles=compute,
+        l1_cycles=l1,
+        l2_cycles=l2,
+        l3_cycles=l3,
+        dram_cycles=dram,
+        branch_cycles=branch,
+        tlb_cycles=tlb,
+        seconds_single_core=single,
+        seconds_parallel=parallel,
+    )

@@ -1,0 +1,61 @@
+"""Virtual address-space layout for the simulated data structures.
+
+Trace builders need concrete addresses for each array (CSR index arrays,
+neighbour arrays, the H2H bit array...).  :class:`MemoryLayout` assigns
+each named region a page-aligned base address in a flat virtual space, so
+distinct structures never share cache lines or pages — mirroring separate
+`malloc`-ed allocations in the paper's C implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Region", "MemoryLayout"]
+
+_PAGE = 4096
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named allocation: ``[base, base + size_bytes)``."""
+
+    name: str
+    base: int
+    size_bytes: int
+    element_bytes: int
+
+    def element_addr(self, index: np.ndarray | int) -> np.ndarray | int:
+        """Byte address of element ``index``."""
+        return self.base + np.asarray(index, dtype=np.int64) * self.element_bytes
+
+    def element_line(self, index: np.ndarray | int, line_bytes: int = 64) -> np.ndarray:
+        """Cache-line number of element ``index``."""
+        return self.element_addr(index) // line_bytes
+
+
+class MemoryLayout:
+    """Sequential page-aligned allocator of named regions."""
+
+    def __init__(self) -> None:
+        self._next = _PAGE  # keep 0 unused
+        self.regions: dict[str, Region] = {}
+
+    def alloc(self, name: str, num_elements: int, element_bytes: int) -> Region:
+        """Allocate ``num_elements`` of ``element_bytes`` each under ``name``."""
+        if name in self.regions:
+            raise ValueError(f"region {name!r} already allocated")
+        size = int(num_elements) * int(element_bytes)
+        region = Region(name, self._next, size, element_bytes)
+        self._next += (size + _PAGE - 1) // _PAGE * _PAGE
+        self.regions[name] = region
+        return region
+
+    def __getitem__(self, name: str) -> Region:
+        return self.regions[name]
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(r.size_bytes for r in self.regions.values())

@@ -1,0 +1,110 @@
+"""Machine models for the paper's three evaluation platforms (Table 3).
+
+Cache capacities are the paper's; because our synthetic datasets are
+~10^3x smaller than the paper's graphs, replaying their traces against
+full-size caches would show no misses at all.  :meth:`MachineSpec.scaled`
+divides every capacity by a common factor so that the *ratio of working
+set to cache size* matches the paper's regime (DESIGN.md §1).  The
+factor is uniform, so cross-machine comparisons (e.g. Epyc's 12x-larger
+L3 weakening Lotus's advantage, Section 5.2) are preserved.
+
+Latency and IPC figures are first-order textbook numbers for these
+micro-architectures; the cost model (``costmodel.py``) only uses them to
+*rank* algorithms, never to claim absolute seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["MachineSpec", "SKYLAKEX", "HASWELL", "EPYC", "MACHINES"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One evaluation machine (a row of Table 3), plus timing parameters."""
+
+    name: str
+    cpu_model: str
+    frequency_ghz: float
+    sockets: int
+    cores: int
+    l1_bytes: int          # per core
+    l2_bytes: int          # per core
+    l3_bytes_total: int    # whole machine
+    line_bytes: int = 64
+    l1_ways: int = 8
+    l2_ways: int = 16
+    l3_ways: int = 16
+    tlb_entries: int = 64
+    page_bytes: int = 4096
+    # cost-model parameters (first-order):
+    l1_latency_cycles: float = 4.0
+    l2_latency_cycles: float = 14.0
+    l3_latency_cycles: float = 44.0
+    memory_latency_cycles: float = 220.0
+    base_ipc: float = 2.0
+    branch_miss_penalty_cycles: float = 15.0
+
+    def scaled(self, factor: int) -> "MachineSpec":
+        """Divide all cache capacities (not line/page sizes) by ``factor``.
+
+        Associativities are preserved; minimum sizes keep every level at
+        least one set.
+        """
+        if factor < 1:
+            raise ValueError("factor must be >= 1")
+
+        def shrink(size: int, ways: int) -> int:
+            return max(size // factor, self.line_bytes * ways)
+
+        return replace(
+            self,
+            name=f"{self.name}/s{factor}",
+            l1_bytes=shrink(self.l1_bytes, self.l1_ways),
+            l2_bytes=shrink(self.l2_bytes, self.l2_ways),
+            l3_bytes_total=shrink(self.l3_bytes_total, self.l3_ways),
+            tlb_entries=max(self.tlb_entries, 1),
+        )
+
+
+# Table 3 configurations -------------------------------------------------
+SKYLAKEX = MachineSpec(
+    name="SkyLakeX",
+    cpu_model="Intel Xeon Gold 6130",
+    frequency_ghz=2.10,
+    sockets=2,
+    cores=32,
+    l1_bytes=32 * 1024,
+    l2_bytes=1024 * 1024,
+    l3_bytes_total=44 * 1024 * 1024,
+    memory_latency_cycles=220.0,
+)
+
+HASWELL = MachineSpec(
+    name="Haswell",
+    cpu_model="Intel Xeon E5-4627",
+    frequency_ghz=2.6,
+    sockets=4,
+    cores=40,
+    l1_bytes=32 * 1024,
+    l2_bytes=256 * 1024,
+    l3_bytes_total=int(102.4 * 1024 * 1024),
+    memory_latency_cycles=230.0,
+)
+
+EPYC = MachineSpec(
+    name="Epyc",
+    cpu_model="AMD Epyc 7702",
+    frequency_ghz=2.0,
+    sockets=2,
+    cores=128,
+    l1_bytes=32 * 1024,
+    l2_bytes=512 * 1024,
+    l3_bytes_total=512 * 1024 * 1024,
+    memory_latency_cycles=260.0,
+)
+
+MACHINES: dict[str, MachineSpec] = {
+    m.name: m for m in (SKYLAKEX, HASWELL, EPYC)
+}

@@ -1,0 +1,54 @@
+"""Data TLB model: a small fully/mostly-associative LRU cache of pages.
+
+The paper's Figure 4b reports DTLB misses: Forward's random accesses span
+the whole multi-gigabyte topology while Lotus confines them to small
+per-phase structures, so Lotus cuts DTLB misses by an average 34.6x.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.memsim.cache import CacheStats, SetAssociativeCache, compress_consecutive
+
+__all__ = ["TLB"]
+
+
+class TLB:
+    """LRU translation cache over ``page_bytes`` pages.
+
+    ``entries`` translations, ``ways``-associative (default fully
+    associative like most first-level DTLBs of the period).
+    """
+
+    def __init__(self, entries: int = 64, page_bytes: int = 4096, ways: int | None = None) -> None:
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        self.page_bytes = page_bytes
+        self.entries = entries
+        ways = entries if ways is None else ways
+        # reuse the cache machinery: one "line" = one page translation
+        self._cache = SetAssociativeCache(
+            size_bytes=entries * page_bytes,
+            line_bytes=page_bytes,
+            ways=ways,
+            name="dtlb",
+        )
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._cache.stats
+
+    def reset(self) -> None:
+        self._cache.reset()
+
+    def access_bytes(self, byte_addrs: np.ndarray) -> None:
+        """Translate a stream of byte addresses."""
+        pages = np.asarray(byte_addrs, dtype=np.int64) // self.page_bytes
+        self.access_pages(pages)
+
+    def access_pages(self, pages: np.ndarray) -> None:
+        """Translate a stream of page numbers (consecutive repeats collapse)."""
+        compressed, collapsed = compress_consecutive(pages)
+        self._cache.credit_hits(collapsed)
+        self._cache.access_lines(compressed)

@@ -1,0 +1,28 @@
+"""Parallel execution substrate.
+
+The paper parallelises with pthreads + work stealing (Section 5.1.3) and
+evaluates load balance as thread idle time (Table 9).  Python threads
+cannot reproduce hardware scheduling, so this package provides:
+
+* :mod:`repro.parallel.partition` — global edge-balanced partitioning
+  (the Table 9 comparator policy) alongside the per-vertex tilings of
+  :mod:`repro.core.tiling`;
+* :mod:`repro.parallel.scheduler` — a deterministic scheduler simulator
+  computing per-thread busy/idle time from exact per-tile work, for both
+  dynamic (work-stealing-like) and static assignment;
+* :mod:`repro.parallel.executor` — a real thread-pool backend running
+  the phase-1 tiles concurrently (NumPy kernels release the GIL in their
+  inner loops).
+"""
+
+from repro.parallel.partition import edge_balanced_global_tiles
+from repro.parallel.scheduler import ScheduleResult, simulate_schedule, idle_time_pct
+from repro.parallel.executor import count_hhh_hhn_parallel
+
+__all__ = [
+    "edge_balanced_global_tiles",
+    "ScheduleResult",
+    "simulate_schedule",
+    "idle_time_pct",
+    "count_hhh_hhn_parallel",
+]

@@ -1,0 +1,30 @@
+"""Sparse-matrix triangle counting reference.
+
+``triangles = trace(A^3) / 6`` for a simple undirected adjacency matrix
+A.  Computed as ``sum((L @ U) ∘ L)`` over the strictly-lower triangle to
+avoid forming A^3.  This implementation is used purely as an independent
+validation oracle for all the hand-written algorithms — the paper's
+algorithms never materialise matrices.
+"""
+
+from __future__ import annotations
+
+from repro.graph.build import to_sparse
+from repro.graph.csr import CSRGraph
+
+import scipy.sparse as sp
+
+__all__ = ["count_triangles_matrix"]
+
+
+def count_triangles_matrix(graph: CSRGraph) -> int:
+    """Exact triangle count via sparse matrix multiplication."""
+    a = to_sparse(graph)
+    if a.nnz == 0:
+        return 0
+    lower = sp.tril(a, k=-1, format="csr")
+    # paths of length 2 from u to w via any v, restricted to edges (u, w):
+    # (A @ A) ∘ A counts each triangle 6 times; using L on both probe sides
+    # counts each once: L[u,v], L[v,w] nonzero with w<v<u and edge (u,w).
+    paths = lower @ lower
+    return int(paths.multiply(lower).sum())

@@ -1,0 +1,37 @@
+"""Common result record returned by every TC implementation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TCResult"]
+
+
+@dataclass
+class TCResult:
+    """Outcome of one triangle-counting run.
+
+    ``phases`` records the end-to-end breakdown the paper reports
+    (preprocessing vs counting, Figure 6); ``extra`` carries
+    algorithm-specific data (e.g. LOTUS per-type triangle counts).
+    """
+
+    algorithm: str
+    triangles: int
+    elapsed: float
+    phases: dict[str, float] = field(default_factory=dict)
+    extra: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def preprocessing_time(self) -> float:
+        return self.phases.get("preprocess", 0.0)
+
+    @property
+    def counting_time(self) -> float:
+        return self.elapsed - self.preprocessing_time
+
+    def rate_edges_per_second(self, num_edges: int) -> float:
+        """End-to-end TC rate (Figure 1 metric): edges / total seconds."""
+        if self.elapsed == 0.0:
+            return float("inf")
+        return num_edges / self.elapsed

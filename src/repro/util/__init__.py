@@ -1,0 +1,18 @@
+"""Shared utilities: timers, RNG helpers, validation."""
+
+from repro.util.rng import make_rng
+from repro.util.timer import Timer, PhaseTimer
+from repro.util.validation import (
+    check_array_dtype,
+    check_nonnegative_int,
+    check_probability,
+)
+
+__all__ = [
+    "make_rng",
+    "Timer",
+    "PhaseTimer",
+    "check_array_dtype",
+    "check_nonnegative_int",
+    "check_probability",
+]

@@ -1,0 +1,23 @@
+"""Seeded random number generation helpers.
+
+Every stochastic component in the library accepts a ``seed`` argument and
+routes it through :func:`make_rng` so runs are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["make_rng"]
+
+
+def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``seed`` may be an ``int``, an existing ``Generator`` (returned as-is,
+    enabling streams to be threaded through call chains), or ``None`` for a
+    non-deterministic generator.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

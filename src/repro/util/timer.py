@@ -1,0 +1,73 @@
+"""Wall-clock timing utilities used by the benchmark harness.
+
+The paper reports end-to-end execution time including preprocessing
+(Section 5.1) and a per-phase breakdown (Figure 6); :class:`PhaseTimer`
+captures both.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "PhaseTimer"]
+
+
+class Timer:
+    """Context-manager stopwatch: ``with Timer() as t: ...; t.elapsed``."""
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+        self._start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+
+
+@dataclass
+class PhaseTimer:
+    """Accumulates named phase durations, preserving insertion order.
+
+    Used to produce the Figure-6 style execution breakdown
+    (preprocess / HHH+HHN / HNN / NNN).
+    """
+
+    phases: dict[str, float] = field(default_factory=dict)
+
+    def phase(self, name: str) -> "_PhaseContext":
+        return _PhaseContext(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        self.phases[name] = self.phases.get(name, 0.0) + seconds
+
+    @property
+    def total(self) -> float:
+        return sum(self.phases.values())
+
+    def fractions(self) -> dict[str, float]:
+        """Phase name -> fraction of total time (0 if total is 0)."""
+        total = self.total
+        if total == 0.0:
+            return {k: 0.0 for k in self.phases}
+        return {k: v / total for k, v in self.phases.items()}
+
+
+class _PhaseContext:
+    def __init__(self, timer: PhaseTimer, name: str) -> None:
+        self._timer = timer
+        self._name = name
+        self._start: float | None = None
+
+    def __enter__(self) -> "_PhaseContext":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        assert self._start is not None
+        self._timer.add(self._name, time.perf_counter() - self._start)

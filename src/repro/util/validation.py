@@ -1,0 +1,32 @@
+"""Argument validation helpers shared across the library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["check_array_dtype", "check_nonnegative_int", "check_probability"]
+
+
+def check_array_dtype(arr: np.ndarray, kind: str, name: str) -> None:
+    """Raise ``TypeError`` unless ``arr`` has dtype kind ``kind`` (e.g. 'i', 'u', 'f')."""
+    if not isinstance(arr, np.ndarray):
+        raise TypeError(f"{name} must be a numpy array, got {type(arr).__name__}")
+    if arr.dtype.kind not in kind:
+        raise TypeError(f"{name} must have dtype kind in {kind!r}, got {arr.dtype}")
+
+
+def check_nonnegative_int(value: int, name: str) -> int:
+    """Raise unless ``value`` is a non-negative integer; returns it as ``int``."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return int(value)
+
+
+def check_probability(value: float, name: str) -> float:
+    """Raise unless ``0 <= value <= 1``; returns it as ``float``."""
+    value = float(value)
+    if not (0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value

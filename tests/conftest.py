@@ -1,0 +1,81 @@
+"""Shared fixtures: small deterministic graphs used across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    erdos_renyi,
+    from_edges,
+    powerlaw_chung_lu,
+    star_graph,
+)
+
+
+@pytest.fixture
+def paper_example_graph():
+    """The 9-vertex example of Figure 2 (hubs: 0, 1).
+
+    Edges reconstructed from the figure's description: 0 and 1 are hubs
+    connected to most vertices; vertex 3 connects to hubs 0, 1 and
+    non-hub 2; vertex 6 has edges {0, 1, 4}; vertex 8 connects to 6 and
+    no hub.
+    """
+    edges = np.array(
+        [
+            (0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6),
+            (1, 3), (1, 4), (1, 5), (1, 6), (1, 7),
+            (2, 3), (4, 6), (5, 7), (6, 8), (7, 8),
+        ],
+        dtype=np.int64,
+    )
+    return from_edges(edges, num_vertices=9)
+
+
+@pytest.fixture
+def triangle_graph():
+    return complete_graph(3)
+
+
+@pytest.fixture
+def k5():
+    return complete_graph(5)
+
+
+@pytest.fixture
+def c6():
+    return cycle_graph(6)
+
+
+@pytest.fixture
+def empty10():
+    return empty_graph(10)
+
+
+@pytest.fixture
+def star20():
+    return star_graph(20)
+
+
+@pytest.fixture
+def er_small():
+    return erdos_renyi(120, 0.08, seed=42)
+
+
+@pytest.fixture
+def er_medium():
+    return erdos_renyi(400, 0.03, seed=7)
+
+
+@pytest.fixture
+def powerlaw_small():
+    return powerlaw_chung_lu(800, 8.0, exponent=2.1, seed=5)
+
+
+@pytest.fixture
+def powerlaw_medium():
+    return powerlaw_chung_lu(3000, 10.0, exponent=2.05, seed=9)

@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graph import erdos_renyi, save_edgelist, save_npz
+
+
+@pytest.fixture
+def edgelist_file(tmp_path):
+    g = erdos_renyi(100, 0.1, seed=1)
+    path = tmp_path / "g.txt"
+    save_edgelist(path, g)
+    return str(path)
+
+
+@pytest.fixture
+def npz_file(tmp_path):
+    g = erdos_renyi(100, 0.1, seed=1)
+    path = tmp_path / "g.npz"
+    save_npz(path, g)
+    return str(path)
+
+
+class TestCount:
+    def test_lotus_on_file(self, edgelist_file, capsys):
+        assert main(["count", "--file", edgelist_file]) == 0
+        out = capsys.readouterr().out
+        assert "triangles:" in out and "types:" in out
+
+    def test_forward_on_npz(self, npz_file, capsys):
+        assert main(["count", "--file", npz_file, "--algorithm", "forward"]) == 0
+        assert "triangles:" in capsys.readouterr().out
+
+    def test_all_algorithms_agree(self, edgelist_file, capsys):
+        counts = set()
+        for alg in ("lotus", "forward", "forward-hashed", "edge-iterator"):
+            main(["count", "--file", edgelist_file, "--algorithm", alg])
+            out = capsys.readouterr().out
+            line = next(l for l in out.splitlines() if l.startswith("triangles:"))
+            counts.add(line)
+        assert len(counts) == 1
+
+    def test_hub_count_flag(self, edgelist_file, capsys):
+        assert main(["count", "--file", edgelist_file, "--hub-count", "5"]) == 0
+
+    def test_dataset(self, capsys):
+        assert main(["count", "--dataset", "LJGrp"]) == 0
+        assert "616,437" in capsys.readouterr().out
+
+    def test_missing_source(self):
+        with pytest.raises(SystemExit):
+            main(["count"])
+
+
+class TestOtherCommands:
+    def test_analyze(self, edgelist_file, capsys):
+        assert main(["analyze", "--file", edgelist_file]) == 0
+        out = capsys.readouterr().out
+        assert "hub triangles:" in out
+
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "LJGrp" in out and "EU15" in out
+
+    def test_experiment(self, capsys):
+        assert main(["experiment", "table8"]) == 0
+        assert "H2H" in capsys.readouterr().out
+
+    def test_experiment_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "nope"])
+
+    def test_experiment_private_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "_lotus"])
+
+    def test_simulate(self, edgelist_file, capsys):
+        assert main([
+            "simulate", "--file", edgelist_file, "--machine", "Epyc", "--scale", "64",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "forward" in out and "lotus" in out and "LLC misses" in out

@@ -1,0 +1,114 @@
+"""Tests for adaptive dispatch, recursive LOTUS, and Table-1 analytics."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    LotusConfig,
+    count_triangles_adaptive,
+    count_triangles_lotus_recursive,
+    hub_characteristics,
+)
+from repro.graph import (
+    complete_graph,
+    empty_graph,
+    erdos_renyi,
+    powerlaw_chung_lu,
+    star_graph,
+    watts_strogatz,
+)
+from repro.graph.degree import hub_mask_top_k
+from repro.core.stats import fruitless_search_pct
+from repro.tc import count_triangles_matrix
+
+
+class TestAdaptiveDispatch:
+    def test_skewed_goes_lotus(self):
+        g = powerlaw_chung_lu(3000, 10.0, exponent=2.0, seed=1)
+        r = count_triangles_adaptive(g)
+        assert r.extra["dispatch"] == "lotus"
+        assert r.triangles == count_triangles_matrix(g)
+
+    def test_uniform_falls_back(self):
+        g = watts_strogatz(3000, 8, 0.1, seed=2)
+        r = count_triangles_adaptive(g)
+        assert r.extra["dispatch"] == "forward-fallback"
+        assert r.triangles == count_triangles_matrix(g)
+
+    def test_empty_graph(self):
+        r = count_triangles_adaptive(empty_graph(5))
+        assert r.triangles == 0
+
+
+class TestRecursiveLotus:
+    def test_correct_on_powerlaw(self):
+        g = powerlaw_chung_lu(2500, 9.0, exponent=2.0, seed=3)
+        r = count_triangles_lotus_recursive(g, LotusConfig(hub_count=32), min_edges=64)
+        assert r.triangles == count_triangles_matrix(g)
+
+    def test_correct_on_er(self):
+        g = erdos_renyi(400, 0.05, seed=4)
+        r = count_triangles_lotus_recursive(g, LotusConfig(hub_count=16))
+        assert r.triangles == count_triangles_matrix(g)
+
+    def test_depth_bounded(self):
+        g = powerlaw_chung_lu(2500, 9.0, exponent=2.0, seed=5)
+        r = count_triangles_lotus_recursive(
+            g, LotusConfig(hub_count=16), max_depth=2, min_edges=8
+        )
+        assert r.extra["depth"] <= 2
+
+    def test_recursion_happens_when_skewed(self):
+        g = powerlaw_chung_lu(4000, 12.0, exponent=2.0, seed=6)
+        r = count_triangles_lotus_recursive(
+            g, LotusConfig(hub_count=8), max_depth=3, min_edges=32, skew_threshold=1.5
+        )
+        assert r.extra["depth"] >= 2
+        assert r.triangles == count_triangles_matrix(g)
+
+    def test_complete_graph(self):
+        g = complete_graph(20)
+        r = count_triangles_lotus_recursive(g, LotusConfig(hub_count=4))
+        assert r.triangles == 1140
+
+
+class TestHubCharacteristics:
+    def test_percentages_sum(self):
+        g = powerlaw_chung_lu(2000, 10.0, exponent=2.05, seed=7)
+        hc = hub_characteristics(g, hub_fraction=0.01)
+        assert hc.hub_to_hub_pct + hc.hub_to_nonhub_pct == pytest.approx(hc.hub_edges_pct)
+        assert hc.hub_edges_pct + hc.nonhub_edges_pct == pytest.approx(100.0)
+
+    def test_skewed_graph_matches_paper_shape(self):
+        """Table 1 shape: 1% hubs attract most edges, most triangles, and a
+        dense hub sub-graph (RD >> 1)."""
+        g = powerlaw_chung_lu(5000, 12.0, exponent=2.0, seed=8)
+        hc = hub_characteristics(g, hub_fraction=0.01)
+        assert hc.hub_edges_pct > 50.0
+        assert hc.hub_triangles_pct > 80.0
+        assert hc.relative_density > 50.0
+
+    def test_uniform_graph_weak_hubs(self):
+        g = watts_strogatz(3000, 10, 0.2, seed=9)
+        hc = hub_characteristics(g, hub_fraction=0.01)
+        assert hc.hub_edges_pct < 10.0
+
+    def test_star_graph(self):
+        g = star_graph(100)
+        hc = hub_characteristics(g, hub_fraction=0.01)
+        assert hc.hub_edges_pct == 100.0
+        assert hc.hub_triangles_pct == 0.0  # star has no triangles
+
+    def test_empty(self):
+        hc = hub_characteristics(empty_graph(10))
+        assert hc.hub_edges_pct == 0.0
+
+    def test_fruitless_pct_bounds(self):
+        g = powerlaw_chung_lu(1500, 8.0, exponent=2.1, seed=10)
+        hubs = hub_mask_top_k(g, 15)
+        pct = fruitless_search_pct(g, hubs)
+        assert 0.0 <= pct <= 100.0
+
+    def test_fruitless_zero_without_hubs(self):
+        g = erdos_renyi(100, 0.1, seed=11)
+        assert fruitless_search_pct(g, np.zeros(100, dtype=bool)) == 0.0

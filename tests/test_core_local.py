@@ -1,0 +1,66 @@
+"""Tests for hub-aware local triangle counting."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core import LotusConfig, count_triangles_lotus, lotus_local_counts
+from repro.graph import complete_graph, erdos_renyi, powerlaw_chung_lu, star_graph
+from repro.tc import count_triangles_matrix, local_triangle_counts
+
+
+class TestLotusLocalCounts:
+    def test_type_totals_match_lotus(self, powerlaw_small):
+        cfg = LotusConfig(hub_count=16)
+        local = lotus_local_counts(powerlaw_small, cfg)
+        full = count_triangles_lotus(powerlaw_small, cfg)
+        assert local.counts == full.extra["counts"]
+
+    def test_per_vertex_matches_plain_local(self, er_medium):
+        local = lotus_local_counts(er_medium)
+        np.testing.assert_array_equal(
+            local.per_vertex, local_triangle_counts(er_medium)
+        )
+
+    def test_per_vertex_matches_networkx(self):
+        g = erdos_renyi(100, 0.1, seed=3)
+        h = nx.Graph()
+        h.add_nodes_from(range(100))
+        h.add_edges_from(map(tuple, g.edges()))
+        expected = nx.triangles(h)
+        local = lotus_local_counts(g)
+        assert all(local.per_vertex[v] == expected[v] for v in range(100))
+
+    def test_sum_is_three_times_total(self, powerlaw_small):
+        local = lotus_local_counts(powerlaw_small)
+        assert local.per_vertex.sum() == 3 * local.total
+        assert local.total == count_triangles_matrix(powerlaw_small)
+
+    def test_hub_subcounts_bounded(self, powerlaw_small):
+        local = lotus_local_counts(powerlaw_small)
+        assert (local.per_vertex_hub <= local.per_vertex).all()
+        # a hub's triangles are all hub triangles by definition
+        hubs = np.flatnonzero(local.hub_mask)
+        np.testing.assert_array_equal(
+            local.per_vertex_hub[hubs], local.per_vertex[hubs]
+        )
+
+    def test_hub_mask_size(self, powerlaw_small):
+        cfg = LotusConfig(hub_count=10)
+        local = lotus_local_counts(powerlaw_small, cfg)
+        assert local.hub_mask.sum() == 10
+
+    def test_hubs_dominate_local_counts(self):
+        """The per-vertex form of Table 1: hub vertices hold a share of
+        local triangles far beyond their population share."""
+        g = powerlaw_chung_lu(3000, 10.0, exponent=2.0, seed=4)
+        local = lotus_local_counts(g)
+        hub_share = local.per_vertex[local.hub_mask].sum() / local.per_vertex.sum()
+        pop_share = local.hub_mask.mean()
+        assert hub_share > 10 * pop_share
+
+    def test_star_and_complete(self):
+        assert lotus_local_counts(star_graph(10)).total == 0
+        local = lotus_local_counts(complete_graph(6), LotusConfig(hub_count=2))
+        assert local.total == 20
+        assert (local.per_vertex == 10).all()

@@ -1,0 +1,107 @@
+"""Tests for the Lotus graph structure and preprocessing (Algorithm 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LotusConfig, build_lotus_graph
+from repro.core.structure import PAPER_HUB_COUNT
+from repro.graph import erdos_renyi, powerlaw_chung_lu, star_graph, complete_graph
+
+
+class TestConfig:
+    def test_default_hub_count_small_graph(self):
+        cfg = LotusConfig()
+        assert cfg.resolve_hub_count(6400) == 100
+
+    def test_default_hub_count_huge_graph(self):
+        cfg = LotusConfig()
+        assert cfg.resolve_hub_count(10_000_000) == PAPER_HUB_COUNT
+
+    def test_explicit_hub_count(self):
+        assert LotusConfig(hub_count=64).resolve_hub_count(1000) == 64
+
+    def test_hub_count_clamped_to_n(self):
+        assert LotusConfig(hub_count=500).resolve_hub_count(100) == 100
+
+    def test_invalid_hub_count(self):
+        with pytest.raises(ValueError):
+            LotusConfig(hub_count=0).resolve_hub_count(100)
+
+
+class TestStructure:
+    def test_validates_on_er(self, er_medium):
+        lotus = build_lotus_graph(er_medium, LotusConfig(hub_count=32))
+        lotus.validate()
+
+    def test_validates_on_powerlaw(self, powerlaw_small):
+        lotus = build_lotus_graph(powerlaw_small)
+        lotus.validate()
+
+    def test_edge_partition(self, powerlaw_small):
+        lotus = build_lotus_graph(powerlaw_small)
+        assert lotus.hub_edges + lotus.non_hub_edges == powerlaw_small.num_edges
+
+    def test_he_dtype_is_uint16(self, powerlaw_small):
+        lotus = build_lotus_graph(powerlaw_small)
+        assert lotus.he.indices.dtype == np.uint16  # 16-bit hub IDs (Section 4.2)
+        assert lotus.nhe.indices.dtype == np.uint32
+
+    def test_h2h_matches_hub_subgraph(self, powerlaw_small):
+        """Every hub-hub edge appears in H2H and HE (recorded twice, Fig. 3a)."""
+        lotus = build_lotus_graph(powerlaw_small)
+        h2h_edges = lotus.h2h.count_set()
+        hub_hub_in_he = sum(
+            lotus.he.neighbors(v).size for v in range(lotus.hub_count)
+        )
+        assert h2h_edges == hub_hub_in_he
+
+    def test_star_all_edges_are_hub_edges(self):
+        g = star_graph(50)
+        lotus = build_lotus_graph(g, LotusConfig(hub_count=1))
+        assert lotus.hub_edges == 49
+        assert lotus.non_hub_edges == 0
+
+    def test_complete_graph_hub_split(self):
+        g = complete_graph(10)
+        lotus = build_lotus_graph(g, LotusConfig(hub_count=4))
+        # edges with at least one endpoint in the 4 hubs: C(10,2)-C(6,2)
+        assert lotus.hub_edges == 45 - 15
+        assert lotus.non_hub_edges == 15
+        lotus.validate()
+
+    def test_relabeling_array_is_permutation(self, er_medium):
+        lotus = build_lotus_graph(er_medium)
+        assert sorted(lotus.ra) == list(range(er_medium.num_vertices))
+
+    def test_hub_edge_fraction(self, powerlaw_medium):
+        """On a skewed graph the hub edges dominate (Figure 8 behaviour)."""
+        lotus = build_lotus_graph(powerlaw_medium)
+        assert lotus.hub_edge_fraction() > 0.5
+
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_partition_property(self, seed, hub_count):
+        g = erdos_renyi(120, 0.06, seed=seed)
+        lotus = build_lotus_graph(g, LotusConfig(hub_count=hub_count))
+        lotus.validate()
+        assert lotus.hub_edges + lotus.non_hub_edges == g.num_edges
+
+
+class TestByteAccounting:
+    def test_nbytes_formula(self, powerlaw_small):
+        lotus = build_lotus_graph(powerlaw_small)
+        expected = (
+            2 * 8 * (powerlaw_small.num_vertices + 1)
+            + lotus.h2h.nbytes
+            + 2 * lotus.hub_edges
+            + 4 * lotus.non_hub_edges
+        )
+        assert lotus.nbytes_lotus() == expected
+
+    def test_he_saves_bytes_vs_csx(self, powerlaw_medium):
+        """HE stores 2 bytes/edge vs 4 in CSX — hub-heavy graphs shrink
+        (Table 7's negative growth rows)."""
+        lotus = build_lotus_graph(powerlaw_medium)
+        assert lotus.he.indices.dtype.itemsize == 2

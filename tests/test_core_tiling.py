@@ -1,0 +1,129 @@
+"""Tests for Squared Edge Tiling (Section 4.6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    LotusConfig,
+    build_lotus_graph,
+    edge_balanced_tiling,
+    squared_edge_tiling,
+    tile_pair_work,
+    tiles_for_phase1,
+)
+from repro.graph import powerlaw_chung_lu
+
+
+class TestTilePairWork:
+    def test_full_list(self):
+        # degree d -> d*(d-1)/2 pairs
+        assert tile_pair_work(0, 100) == 4950
+
+    def test_split_adds_up(self):
+        assert tile_pair_work(0, 45) + tile_pair_work(45, 100) == tile_pair_work(0, 100)
+
+    def test_empty(self):
+        assert tile_pair_work(10, 10) == 0
+        assert tile_pair_work(10, 5) == 0
+
+
+class TestSquaredEdgeTiling:
+    def test_paper_example(self):
+        """Section 4.6: degree 100, 5 partitions -> 0, 45, 63, 77, 89, 100."""
+        bounds = squared_edge_tiling(100, 5)
+        np.testing.assert_array_equal(bounds, [0, 45, 63, 77, 89, 100])
+
+    def test_boundaries_are_monotone_and_cover(self):
+        bounds = squared_edge_tiling(1000, 7)
+        assert bounds[0] == 0 and bounds[-1] == 1000
+        assert (np.diff(bounds) >= 0).all()
+
+    def test_single_partition(self):
+        np.testing.assert_array_equal(squared_edge_tiling(50, 1), [0, 50])
+
+    def test_zero_degree(self):
+        np.testing.assert_array_equal(squared_edge_tiling(0, 4), [0, 0, 0, 0, 0])
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            squared_edge_tiling(10, 0)
+        with pytest.raises(ValueError):
+            squared_edge_tiling(-1, 2)
+
+    @given(st.integers(10, 5000), st.integers(1, 64))
+    @settings(max_examples=80)
+    def test_work_balance_property(self, degree, p):
+        """Tile works differ by at most ~degree (one boundary's rounding),
+        vs the O(degree^2/p) imbalance of equal-length splits."""
+        bounds = squared_edge_tiling(degree, p)
+        works = [
+            tile_pair_work(int(a), int(b)) for a, b in zip(bounds[:-1], bounds[1:])
+        ]
+        assert sum(works) == tile_pair_work(0, degree)
+        if p > 1 and degree >= 10 * p:
+            target = tile_pair_work(0, degree) / p
+            assert max(works) <= target + 2 * degree
+
+    @given(st.integers(100, 3000))
+    @settings(max_examples=30)
+    def test_beats_edge_balanced(self, degree):
+        """Squared tiling's max tile is (much) smaller than edge-balanced's."""
+        p = 8
+        sq = squared_edge_tiling(degree, p)
+        eb = edge_balanced_tiling(degree, p)
+        max_sq = max(
+            tile_pair_work(int(a), int(b)) for a, b in zip(sq[:-1], sq[1:])
+        )
+        max_eb = max(
+            tile_pair_work(int(a), int(b)) for a, b in zip(eb[:-1], eb[1:])
+        )
+        assert max_sq <= max_eb
+
+
+class TestEdgeBalanced:
+    def test_equal_lengths(self):
+        bounds = edge_balanced_tiling(100, 4)
+        np.testing.assert_array_equal(np.diff(bounds), [25, 25, 25, 25])
+
+    def test_last_tile_heaviest(self):
+        """Equal-length tiles of a pair workload are maximally unbalanced:
+        the last tile does ~(2p-1)x the first tile's work."""
+        bounds = edge_balanced_tiling(1000, 10)
+        works = [
+            tile_pair_work(int(a), int(b)) for a, b in zip(bounds[:-1], bounds[1:])
+        ]
+        assert works[-1] > 10 * works[0]
+
+
+class TestTilesForPhase1:
+    def test_covers_all_work(self):
+        g = powerlaw_chung_lu(2000, 10.0, exponent=2.0, seed=3)
+        lotus = build_lotus_graph(g)
+        tiles = tiles_for_phase1(lotus.he, partitions=8, degree_threshold=16)
+        total_work = sum(t.work for t in tiles)
+        deg = lotus.he.degrees()
+        expected = int((deg * (deg - 1) // 2).sum())
+        assert total_work == expected
+
+    def test_small_rows_single_tile(self):
+        g = powerlaw_chung_lu(500, 6.0, exponent=2.2, seed=4)
+        lotus = build_lotus_graph(g)
+        tiles = tiles_for_phase1(lotus.he, partitions=4, degree_threshold=10**9)
+        assert all(t.start == 0 for t in tiles)
+
+    def test_policy_validation(self):
+        g = powerlaw_chung_lu(200, 5.0, exponent=2.2, seed=5)
+        lotus = build_lotus_graph(g)
+        with pytest.raises(ValueError):
+            tiles_for_phase1(lotus.he, 4, policy="bogus")
+
+    def test_big_rows_are_split(self):
+        g = powerlaw_chung_lu(2000, 12.0, exponent=1.9, seed=6)
+        lotus = build_lotus_graph(g)
+        tiles = tiles_for_phase1(lotus.he, partitions=4, degree_threshold=8)
+        deg = lotus.he.degrees()
+        big_vertices = set(np.flatnonzero(deg > 8).tolist())
+        split_vertices = {t.vertex for t in tiles if t.start > 0}
+        assert split_vertices and split_vertices <= big_vertices

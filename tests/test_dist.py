@@ -1,0 +1,102 @@
+"""Tests for the distributed TC simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dist import (
+    PARTITIONERS,
+    partition_block,
+    partition_degree_balanced,
+    partition_hash,
+    simulate_distributed_tc,
+)
+from repro.graph import complete_graph, erdos_renyi, powerlaw_chung_lu
+from repro.tc import count_triangles_matrix
+
+
+class TestPartitioners:
+    @pytest.mark.parametrize("name", sorted(PARTITIONERS))
+    def test_covers_all_vertices(self, name, er_small):
+        owner = PARTITIONERS[name](er_small, 4)
+        assert owner.size == er_small.num_vertices
+        assert owner.min() >= 0 and owner.max() < 4
+
+    def test_block_is_contiguous(self, er_small):
+        owner = partition_block(er_small, 3)
+        assert (np.diff(owner) >= 0).all()
+
+    def test_degree_balanced_equalises_edges(self):
+        g = powerlaw_chung_lu(2000, 10.0, exponent=2.0, seed=1)
+        deg = g.degrees()
+        owner = partition_degree_balanced(g, 8)
+        loads = np.bincount(owner, weights=deg, minlength=8)
+        assert loads.max() / loads.mean() < 1.1
+        # block partitioning of a skewed graph is much worse
+        block_loads = np.bincount(partition_block(g, 8), weights=deg, minlength=8)
+        assert block_loads.max() / block_loads.mean() > loads.max() / loads.mean()
+
+    def test_single_worker(self, er_small):
+        assert (partition_hash(er_small, 1) == 0).all()
+
+    def test_invalid_workers(self, er_small):
+        with pytest.raises(ValueError):
+            partition_block(er_small, 0)
+
+
+class TestSimulation:
+    @pytest.mark.parametrize("name", sorted(PARTITIONERS))
+    @pytest.mark.parametrize("workers", [1, 3, 8])
+    def test_exact_count(self, name, workers, er_medium):
+        owner = PARTITIONERS[name](er_medium, workers)
+        report = simulate_distributed_tc(er_medium, owner, workers)
+        assert report.triangles == count_triangles_matrix(er_medium)
+        assert report.per_worker_triangles.sum() == report.triangles
+
+    def test_single_worker_no_comm(self, er_medium):
+        owner = partition_block(er_medium, 1)
+        report = simulate_distributed_tc(er_medium, owner, 1)
+        assert report.total_comm_edges == 0
+        assert report.work_imbalance == pytest.approx(1.0)
+
+    def test_more_workers_more_comm(self):
+        g = powerlaw_chung_lu(1500, 10.0, exponent=2.1, seed=2)
+        comms = []
+        for w in (2, 4, 8):
+            report = simulate_distributed_tc(g, partition_hash(g, w), w)
+            comms.append(report.total_comm_edges)
+        assert comms[0] <= comms[-1]
+
+    def test_degree_balanced_improves_balance(self):
+        g = powerlaw_chung_lu(2000, 12.0, exponent=2.0, seed=3)
+        block = simulate_distributed_tc(g, partition_block(g, 8), 8)
+        balanced = simulate_distributed_tc(g, partition_degree_balanced(g, 8), 8)
+        assert balanced.triangles == block.triangles
+        assert balanced.work_imbalance <= block.work_imbalance
+
+    def test_natural_order_also_exact(self, er_medium):
+        owner = partition_hash(er_medium, 4)
+        report = simulate_distributed_tc(er_medium, owner, 4, degree_order=False)
+        assert report.triangles == count_triangles_matrix(er_medium)
+
+    def test_owner_validation(self, k5):
+        with pytest.raises(ValueError):
+            simulate_distributed_tc(k5, np.zeros(3, dtype=np.int64), 2)
+        with pytest.raises(ValueError):
+            simulate_distributed_tc(k5, np.full(5, 7), 2)
+
+    def test_complete_graph_all_partitioners(self):
+        g = complete_graph(20)
+        expected = 1140
+        for name, fn in PARTITIONERS.items():
+            report = simulate_distributed_tc(g, fn(g, 4), 4)
+            assert report.triangles == expected, name
+
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 6))
+    @settings(max_examples=15, deadline=None)
+    def test_count_invariant_property(self, seed, workers):
+        g = erdos_renyi(80, 0.1, seed=seed)
+        owner = partition_hash(g, workers)
+        report = simulate_distributed_tc(g, owner, workers)
+        assert report.triangles == count_triangles_matrix(g)

@@ -1,0 +1,112 @@
+"""Tests for the evaluation harness and experiment entry points."""
+
+import json
+
+import pytest
+
+from repro.eval.harness import ExperimentResult, format_table, save_results
+from repro.eval import experiments as E
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([]) == "(empty)"
+
+    def test_alignment_and_union_of_keys(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "c": "x"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b", "c"]
+        assert len(lines) == 4
+
+    def test_large_numbers_have_separators(self):
+        text = format_table([{"n": 1_234_567}])
+        assert "1,234,567" in text
+
+    def test_float_formatting(self):
+        text = format_table([{"x": 0.12345, "y": 3.14159}])
+        assert "0.1234" in text or "0.1235" in text
+        assert "3.14" in text
+
+
+class TestExperimentResult:
+    def test_render_contains_parts(self):
+        r = ExperimentResult(
+            "t", "Title", rows=[{"a": 1}], paper_reference={"x": 2}, notes="n"
+        )
+        text = r.render()
+        assert "Title" in text and "paper reference" in text and "note: n" in text
+
+    def test_save(self, tmp_path):
+        r = ExperimentResult("t", "Title", rows=[{"a": 1}])
+        path = tmp_path / "out.json"
+        save_results([r], path)
+        data = json.loads(path.read_text())
+        assert data[0]["experiment_id"] == "t"
+        assert data[0]["rows"] == [{"a": 1}]
+
+
+@pytest.mark.slow
+class TestExperimentsSmoke:
+    """Each experiment runs end-to-end on a two-dataset suite and keeps the
+    paper's qualitative shape.  (The full-suite runs live in benchmarks/.)"""
+
+    SUITE = ("LJGrp", "Frndstr")
+
+    def test_table1(self):
+        r = E.table1(datasets=self.SUITE)
+        assert r.rows[-1]["dataset"] == "Average"
+        assert r.rows[0]["hub edges %"] > 40
+
+    def test_table7(self):
+        r = E.table7(datasets=self.SUITE)
+        assert all("growth %" in row for row in r.rows)
+
+    def test_table8(self):
+        r = E.table8(datasets=self.SUITE)
+        assert all(0 <= row["H2H density %"] <= 100 for row in r.rows)
+
+    def test_table9(self):
+        r = E.table9(datasets=("Twtr10",), threads=16)
+        row = r.rows[0]
+        assert row["squared tiling idle %"] < row["edge balanced idle %"]
+
+    def test_fig4(self):
+        r = E.fig4(datasets=("LJGrp",))
+        assert r.rows[0]["LLC reduction x"] > 1.0
+
+    def test_fig5(self):
+        r = E.fig5(datasets=("LJGrp",))
+        assert r.rows[0]["instruction reduction x"] > 1.0
+
+    def test_fig6(self):
+        r = E.fig6(datasets=("LJGrp",))
+        row = r.rows[0]
+        total = row["preprocess %"] + row["hhh+hhn %"] + row["hnn %"] + row["nnn %"]
+        assert total == pytest.approx(100.0, abs=0.5)
+
+    def test_fig7(self):
+        r = E.fig7(datasets=self.SUITE)
+        assert r.rows[-1]["dataset"] == "Average"
+
+    def test_fig8(self):
+        r = E.fig8(datasets=self.SUITE)
+        per = {row["dataset"]: row["HE edges %"] for row in r.rows[:-1]}
+        assert per["Frndstr"] < per["LJGrp"]
+
+    def test_fig9(self):
+        r = E.fig9(dataset="LJGrp")
+        shares = [row["cumulative access %"] for row in r.rows]
+        assert shares == sorted(shares)
+        assert shares[-1] == pytest.approx(100.0, abs=0.01)
+
+    def test_modeled_caching(self):
+        # memoised artefacts: same object returned
+        assert E._lotus("LJGrp") is E._lotus("LJGrp")
+        assert E._replay("LJGrp", "SkyLakeX", "lotus") is E._replay(
+            "LJGrp", "SkyLakeX", "lotus"
+        )
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            E._opcounts("LJGrp", "bogus")

@@ -1,0 +1,154 @@
+"""Failure injection: validators must catch every corrupted structure.
+
+These tests construct deliberately broken CSR/Lotus structures (bypassing
+the builders) and assert that ``validate()`` rejects each corruption —
+the guard rail that keeps downstream algorithms from silently producing
+wrong counts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import LotusConfig, build_lotus_graph
+from repro.graph import complete_graph, erdos_renyi, from_edges
+from repro.graph.csr import CSRGraph, OrientedGraph
+
+
+def _raw(indptr, indices):
+    return CSRGraph(
+        np.asarray(indptr, dtype=np.int64), np.asarray(indices, dtype=np.uint32)
+    )
+
+
+class TestCSRValidation:
+    def test_clean_graph_passes(self, er_small):
+        er_small.validate()
+
+    def test_self_loop_detected(self):
+        g = _raw([0, 1, 2], [0, 1])  # 0->0 self loop
+        with pytest.raises(ValueError, match="self-loop"):
+            g.validate()
+
+    def test_asymmetry_detected(self):
+        g = _raw([0, 1, 1], [1])  # 0->1 without 1->0
+        with pytest.raises(ValueError, match="symmetric|duplicate"):
+            g.validate()
+
+    def test_duplicate_edge_detected(self):
+        g = _raw([0, 2, 4], [1, 1, 0, 0])
+        with pytest.raises(ValueError):
+            g.validate()
+
+    def test_unsorted_row_detected(self):
+        g = _raw([0, 2, 3, 4], [2, 1, 0, 0])
+        with pytest.raises(ValueError, match="sorted"):
+            g.validate()
+
+    def test_out_of_range_neighbor_detected(self):
+        g = _raw([0, 1, 2], [1, 5])
+        with pytest.raises(ValueError, match="range"):
+            g.validate()
+
+    def test_bad_indptr_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 5]), np.array([1], dtype=np.uint32))
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 2, 1]), np.array([0, 1], dtype=np.uint32))
+
+    def test_float_indices_rejected(self):
+        with pytest.raises(TypeError):
+            CSRGraph(np.array([0, 1]), np.array([0.5]))
+
+
+class TestOrientedValidation:
+    def test_clean_orientation_passes(self, er_small):
+        er_small.orient_lower().validate()
+
+    def test_neighbor_geq_vertex_detected(self):
+        og = OrientedGraph(
+            np.array([0, 1], dtype=np.int64), np.array([0], dtype=np.uint32)
+        )
+        with pytest.raises(ValueError, match=">="):
+            og.validate()
+
+    def test_unsorted_detected(self):
+        og = OrientedGraph(
+            np.array([0, 0, 0, 0, 2], dtype=np.int64),
+            np.array([2, 1], dtype=np.uint32),
+        )
+        with pytest.raises(ValueError, match="sorted"):
+            og.validate()
+
+
+class TestLotusValidation:
+    def _lotus(self):
+        return build_lotus_graph(erdos_renyi(80, 0.1, seed=1), LotusConfig(hub_count=8))
+
+    def test_clean_structure_passes(self):
+        self._lotus().validate()
+
+    def test_missing_h2h_bit_detected(self):
+        lotus = self._lotus()
+        if lotus.h2h.count_set() == 0:
+            pytest.skip("no hub-hub edges in this instance")
+        # clear one byte that contains set bits
+        nz = np.flatnonzero(lotus.h2h.data)[0]
+        lotus.h2h.data[nz] = 0
+        with pytest.raises(ValueError, match="H2H"):
+            lotus.validate()
+
+    def test_extra_h2h_bit_detected(self):
+        lotus = self._lotus()
+        # find a clear bit and set it
+        for byte in range(lotus.h2h.data.size):
+            if lotus.h2h.data[byte] != 0xFF and byte * 8 < lotus.h2h.num_bits:
+                for bit in range(8):
+                    if not (lotus.h2h.data[byte] >> bit) & 1:
+                        lotus.h2h.data[byte] |= 1 << bit
+                        with pytest.raises(ValueError):
+                            lotus.validate()
+                        return
+        pytest.skip("H2H is full")
+
+    def test_hub_id_in_nhe_detected(self):
+        lotus = self._lotus()
+        if lotus.nhe.indices.size == 0:
+            pytest.skip("no NHE edges")
+        lotus.nhe.indices[0] = 0  # hub ID smuggled into NHE
+        with pytest.raises(ValueError, match="NHE"):
+            lotus.validate()
+
+    def test_nonhub_id_in_he_detected(self):
+        lotus = self._lotus()
+        if lotus.he.indices.size == 0:
+            pytest.skip("no HE edges")
+        # overwrite the last HE entry (owned by the highest vertex) with a
+        # non-hub ID — must violate the "only hubs in HE" invariant
+        lotus.he.indices[-1] = lotus.hub_count
+        with pytest.raises(ValueError):
+            lotus.validate()
+
+    def test_edge_partition_mismatch_detected(self):
+        lotus = self._lotus()
+        lotus.num_edges += 1
+        with pytest.raises(ValueError, match="partition"):
+            lotus.validate()
+
+
+class TestAlgorithmsRejectGarbageGracefully:
+    """Algorithms should produce correct results or fail loudly, never
+    return silently wrong counts for *valid* unusual inputs."""
+
+    def test_vertex_count_larger_than_edges_touch(self):
+        g = from_edges(np.array([[0, 1], [1, 2], [0, 2]]), num_vertices=1000)
+        from repro.core import count_triangles_lotus
+        from repro.tc import count_triangles_forward
+
+        assert count_triangles_forward(g).triangles == 1
+        assert count_triangles_lotus(g).triangles == 1
+
+    def test_dense_small_graph(self):
+        from repro.core import count_triangles_lotus
+
+        g = complete_graph(30)
+        assert count_triangles_lotus(g, LotusConfig(hub_count=2)).triangles == 4060

@@ -1,0 +1,99 @@
+"""Tests for k-core decomposition and wedge counting."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    erdos_renyi,
+    powerlaw_chung_lu,
+    star_graph,
+)
+from repro.graph.analytics import (
+    core_numbers,
+    degeneracy,
+    degeneracy_ordering,
+    wedge_count,
+)
+
+
+def _to_nx(g):
+    h = nx.Graph()
+    h.add_nodes_from(range(g.num_vertices))
+    h.add_edges_from(map(tuple, g.edges()))
+    return h
+
+
+class TestCoreNumbers:
+    def test_matches_networkx(self, er_medium):
+        mine = core_numbers(er_medium)
+        theirs = nx.core_number(_to_nx(er_medium))
+        assert all(mine[v] == theirs[v] for v in range(er_medium.num_vertices))
+
+    def test_complete_graph(self):
+        assert (core_numbers(complete_graph(7)) == 6).all()
+
+    def test_cycle(self):
+        assert (core_numbers(cycle_graph(10)) == 2).all()
+
+    def test_star(self):
+        cores = core_numbers(star_graph(10))
+        assert (cores == 1).all()
+
+    def test_empty(self):
+        assert core_numbers(empty_graph(4)).sum() == 0
+        assert degeneracy(empty_graph(0)) == 0
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_property_vs_networkx(self, seed):
+        g = erdos_renyi(100, 0.06, seed=seed)
+        mine = core_numbers(g)
+        theirs = nx.core_number(_to_nx(g))
+        assert all(mine[v] == theirs[v] for v in range(100))
+
+
+class TestDegeneracy:
+    def test_matches_max_core(self, powerlaw_small):
+        assert degeneracy(powerlaw_small) == int(core_numbers(powerlaw_small).max())
+
+    def test_ordering_is_permutation(self, er_small):
+        order = degeneracy_ordering(er_small)
+        assert sorted(order) == list(range(er_small.num_vertices))
+
+    def test_ordering_bounds_forward_degree(self, powerlaw_small):
+        """Orienting along a degeneracy-flavoured order keeps out-degrees
+        around the degeneracy (the property k-clique counting relies on)."""
+        g = powerlaw_small
+        order = degeneracy_ordering(g)
+        rank = np.empty(g.num_vertices, dtype=np.int64)
+        rank[order] = np.arange(g.num_vertices)
+        d = degeneracy(g)
+        # most vertices should have few earlier-ranked neighbours
+        out_degrees = []
+        for v in range(g.num_vertices):
+            nbrs = g.neighbors(v)
+            out_degrees.append(int((rank[nbrs] < rank[v]).sum()))
+        assert np.median(out_degrees) <= max(2 * d, 4)
+
+
+class TestWedges:
+    def test_star(self):
+        # the hub of a 10-star has C(9,2) = 36 wedges
+        assert wedge_count(star_graph(10)) == 36
+
+    def test_triangle(self):
+        assert wedge_count(complete_graph(3)) == 3
+
+    def test_transitivity_consistency(self, er_medium):
+        from repro.tc import count_triangles_matrix, global_transitivity
+
+        w = wedge_count(er_medium)
+        t = count_triangles_matrix(er_medium)
+        if w:
+            assert global_transitivity(er_medium) == pytest.approx(3 * t / w)

@@ -1,0 +1,144 @@
+"""Tests for CSRGraph / OrientedGraph invariants and operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import from_edges, complete_graph, empty_graph, star_graph
+from repro.graph.csr import CSRGraph, neighbor_dtype_for
+
+
+def edges_strategy(max_n=30, max_m=80):
+    return st.lists(
+        st.tuples(st.integers(0, max_n - 1), st.integers(0, max_n - 1)),
+        min_size=0,
+        max_size=max_m,
+    )
+
+
+class TestConstruction:
+    def test_triangle(self):
+        g = from_edges(np.array([[0, 1], [1, 2], [0, 2]]))
+        assert g.num_vertices == 3
+        assert g.num_edges == 3
+        assert g.num_arcs == 6
+        np.testing.assert_array_equal(g.neighbors(0), [1, 2])
+        np.testing.assert_array_equal(g.neighbors(1), [0, 2])
+
+    def test_self_loops_removed(self):
+        g = from_edges(np.array([[0, 0], [0, 1], [1, 1]]))
+        assert g.num_edges == 1
+
+    def test_duplicates_removed(self):
+        g = from_edges(np.array([[0, 1], [1, 0], [0, 1]]))
+        assert g.num_edges == 1
+
+    def test_isolated_vertices_preserved(self):
+        g = from_edges(np.array([[0, 1]]), num_vertices=10)
+        assert g.num_vertices == 10
+        assert g.degree(5) == 0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            from_edges(np.array([[0, 5]]), num_vertices=3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            from_edges(np.array([[-1, 2]]))
+
+    def test_bad_indptr_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([1, 2]), np.array([0, 1], dtype=np.uint32))
+
+    def test_float_edges_rejected(self):
+        with pytest.raises(TypeError):
+            from_edges(np.array([[0.5, 1.5]]))
+
+    @given(edges_strategy())
+    @settings(max_examples=60)
+    def test_invariants_always_hold(self, edges):
+        g = from_edges(np.array(edges, dtype=np.int64).reshape(-1, 2))
+        g.validate()
+
+
+class TestQueries:
+    def test_degrees(self, star20):
+        deg = star20.degrees()
+        assert deg[0] == 19
+        assert (deg[1:] == 1).all()
+
+    def test_has_edge(self, k5):
+        assert k5.has_edge(0, 4)
+        assert not k5.has_edge(0, 0)
+
+    def test_has_edge_missing(self, c6):
+        assert c6.has_edge(0, 1)
+        assert not c6.has_edge(0, 3)
+
+    def test_edges_roundtrip(self, er_small):
+        rebuilt = from_edges(er_small.edges(), num_vertices=er_small.num_vertices)
+        assert rebuilt == er_small
+
+    def test_neighbors_is_view(self, k5):
+        row = k5.neighbors(0)
+        assert row.base is k5.indices
+
+
+class TestOrientation:
+    def test_orient_lower_counts(self, k5):
+        og = k5.orient_lower()
+        assert og.num_edges == k5.num_edges
+        og.validate()
+
+    def test_orient_lower_rows(self):
+        g = from_edges(np.array([[0, 1], [1, 2], [0, 2]]))
+        og = g.orient_lower()
+        assert og.neighbors(0).size == 0
+        np.testing.assert_array_equal(og.neighbors(1), [0])
+        np.testing.assert_array_equal(og.neighbors(2), [0, 1])
+
+    @given(edges_strategy())
+    @settings(max_examples=40)
+    def test_orientation_preserves_edge_count(self, edges):
+        g = from_edges(np.array(edges, dtype=np.int64).reshape(-1, 2))
+        og = g.orient_lower()
+        assert og.num_edges == g.num_edges
+        og.validate()
+
+
+class TestSubgraph:
+    def test_induced_subgraph(self, k5):
+        mask = np.array([True, True, True, False, False])
+        sub = k5.subgraph_mask(mask)
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 3  # K3
+
+    def test_empty_mask(self, k5):
+        sub = k5.subgraph_mask(np.zeros(5, dtype=bool))
+        assert sub.num_vertices == 0
+        assert sub.num_edges == 0
+
+    def test_full_mask_identity(self, er_small):
+        sub = er_small.subgraph_mask(np.ones(er_small.num_vertices, dtype=bool))
+        assert sub == er_small
+
+    def test_wrong_mask_length(self, k5):
+        with pytest.raises(ValueError):
+            k5.subgraph_mask(np.ones(3, dtype=bool))
+
+
+class TestSizes:
+    def test_nbytes_csx(self, k5):
+        # 6 indptr entries * 8B + 20 arcs * 4B
+        assert k5.nbytes_csx() == 8 * 6 + 4 * 20
+        assert k5.nbytes_csx(include_symmetric=False) == 8 * 6 + 4 * 10
+
+    def test_neighbor_dtype(self):
+        assert neighbor_dtype_for(10) == np.uint32
+        assert neighbor_dtype_for(2**32 - 1) == np.uint32
+        assert neighbor_dtype_for(2**32 + 1) == np.uint64
+
+    def test_empty_graph(self, empty10):
+        assert empty10.num_edges == 0
+        assert empty10.nbytes_csx() == 8 * 11

@@ -1,0 +1,136 @@
+"""Tests for degree analytics, IO round-trips, and the dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    DATASETS,
+    dataset_names,
+    degree_statistics,
+    hub_mask_top_fraction,
+    hub_mask_top_k,
+    is_skewed,
+    load_dataset,
+    load_edgelist,
+    load_npz,
+    powerlaw_chung_lu,
+    save_edgelist,
+    save_npz,
+    star_graph,
+    watts_strogatz,
+)
+from repro.graph.datasets import LARGE_SUITE, SMALL_SUITE
+
+
+class TestDegreeStatistics:
+    def test_star(self, star20):
+        stats = degree_statistics(star20)
+        assert stats.max_degree == 19
+        assert stats.median_degree == 1
+        assert stats.skew_ratio > 1.5
+
+    def test_empty(self, empty10):
+        stats = degree_statistics(empty10)
+        assert stats.mean_degree == 0.0
+        assert stats.gini == 0.0
+
+    def test_regular_graph_gini_zero(self, c6):
+        assert degree_statistics(c6).gini == pytest.approx(0.0, abs=1e-9)
+
+    def test_gini_increases_with_skew(self):
+        sw = watts_strogatz(1000, 8, 0.05, seed=1)
+        pl = powerlaw_chung_lu(1000, 8.0, exponent=2.0, seed=1)
+        assert degree_statistics(pl).gini > degree_statistics(sw).gini + 0.2
+
+
+class TestHubMasks:
+    def test_top_k(self, star20):
+        mask = hub_mask_top_k(star20, 1)
+        assert mask[0] and mask.sum() == 1
+
+    def test_top_k_exceeds_n(self, k5):
+        assert hub_mask_top_k(k5, 100).sum() == 5
+
+    def test_top_fraction(self, powerlaw_small):
+        mask = hub_mask_top_fraction(powerlaw_small, 0.01)
+        assert mask.sum() == round(powerlaw_small.num_vertices * 0.01)
+
+    def test_hubs_have_max_degrees(self, powerlaw_small):
+        g = powerlaw_small
+        mask = hub_mask_top_k(g, 10)
+        deg = g.degrees()
+        assert deg[mask].min() >= deg[~mask].max()
+
+    def test_zero_k(self, k5):
+        assert hub_mask_top_k(k5, 0).sum() == 0
+
+    def test_bad_fraction(self, k5):
+        with pytest.raises(ValueError):
+            hub_mask_top_fraction(k5, -0.1)
+
+
+class TestSkewDetection:
+    def test_powerlaw_is_skewed(self):
+        g = powerlaw_chung_lu(5000, 10.0, exponent=2.0, seed=2)
+        assert is_skewed(g)
+
+    def test_smallworld_not_skewed(self):
+        g = watts_strogatz(5000, 10, 0.1, seed=2)
+        assert not is_skewed(g)
+
+    def test_empty_not_skewed(self, empty10):
+        assert not is_skewed(empty10)
+
+
+class TestIO:
+    def test_npz_roundtrip(self, er_small, tmp_path):
+        p = tmp_path / "g.npz"
+        save_npz(p, er_small)
+        assert load_npz(p) == er_small
+
+    def test_edgelist_roundtrip(self, er_small, tmp_path):
+        p = tmp_path / "g.txt"
+        save_edgelist(p, er_small)
+        assert load_edgelist(p) == er_small
+
+    def test_edgelist_preserves_isolated(self, tmp_path):
+        g = star_graph(5).subgraph_mask(np.array([True] * 5))
+        p = tmp_path / "g.txt"
+        save_edgelist(p, g)
+        assert load_edgelist(p).num_vertices == 5
+
+    def test_edgelist_comments(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("# a comment\n0 1\n# another\n1 2\n")
+        g = load_edgelist(p)
+        assert g.num_edges == 2
+
+
+class TestDatasets:
+    def test_registry_names(self):
+        assert len(SMALL_SUITE) == 10
+        assert len(LARGE_SUITE) == 4
+        assert set(dataset_names()) <= set(DATASETS)
+
+    def test_load_is_cached(self):
+        assert load_dataset("LJGrp") is load_dataset("LJGrp")
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_dataset("NoSuchGraph")
+
+    def test_social_networks_are_skewed(self):
+        for name in ("LJGrp", "Twtr10"):
+            assert is_skewed(load_dataset(name)), name
+
+    def test_friendster_least_skewed_sn(self):
+        """The paper's Section 5.5 outlier: Friendster's max degree is tiny
+        relative to the other social networks."""
+        fr = degree_statistics(load_dataset("Frndstr"))
+        tw = degree_statistics(load_dataset("Twtr10"))
+        assert fr.max_degree / fr.mean_degree < tw.max_degree / tw.mean_degree / 4
+
+    def test_all_small_suite_nonempty(self):
+        for name in SMALL_SUITE:
+            g = load_dataset(name)
+            assert g.num_edges > 10_000, name

@@ -1,0 +1,169 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    barabasi_albert,
+    chung_lu,
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    erdos_renyi,
+    powerlaw_chung_lu,
+    rmat,
+    star_graph,
+    watts_strogatz,
+)
+from repro.graph.degree import degree_statistics
+
+
+class TestDeterministicGraphs:
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.num_edges == 15
+        assert (g.degrees() == 5).all()
+
+    def test_star(self):
+        g = star_graph(10)
+        assert g.num_edges == 9
+        assert g.degree(0) == 9
+
+    def test_cycle(self):
+        g = cycle_graph(8)
+        assert g.num_edges == 8
+        assert (g.degrees() == 2).all()
+
+    def test_tiny_cycle(self):
+        assert cycle_graph(2).num_edges == 0
+
+    def test_empty(self):
+        g = empty_graph(5)
+        assert g.num_vertices == 5 and g.num_edges == 0
+
+
+class TestErdosRenyi:
+    def test_determinism(self):
+        assert erdos_renyi(200, 0.05, seed=3) == erdos_renyi(200, 0.05, seed=3)
+
+    def test_seed_changes_graph(self):
+        assert erdos_renyi(200, 0.05, seed=3) != erdos_renyi(200, 0.05, seed=4)
+
+    def test_p_zero(self):
+        assert erdos_renyi(50, 0.0, seed=0).num_edges == 0
+
+    def test_p_one(self):
+        g = erdos_renyi(20, 1.0, seed=0)
+        assert g.num_edges == 190
+
+    def test_edge_count_near_expectation(self):
+        n, p = 500, 0.04
+        g = erdos_renyi(n, p, seed=12)
+        expected = n * (n - 1) / 2 * p
+        assert abs(g.num_edges - expected) < 4 * np.sqrt(expected)
+
+    def test_valid(self):
+        erdos_renyi(300, 0.02, seed=5).validate()
+
+    def test_bad_p(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(10, 1.5)
+
+
+class TestChungLu:
+    def test_zero_weights(self):
+        assert chung_lu(np.zeros(10)).num_edges == 0
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            chung_lu(np.array([-1.0, 2.0]))
+
+    def test_determinism(self):
+        w = np.linspace(1, 50, 100)
+        assert chung_lu(w, seed=1) == chung_lu(w, seed=1)
+
+    def test_expected_degree_tracking(self):
+        # uniform weights ~ ER; mean degree should track the weights
+        w = np.full(400, 10.0)
+        g = chung_lu(w, seed=2)
+        assert 7.0 < g.degrees().mean() < 13.0
+
+    def test_valid(self):
+        chung_lu(np.linspace(1, 40, 200), seed=3).validate()
+
+
+class TestPowerlawChungLu:
+    def test_skewed_distribution(self):
+        g = powerlaw_chung_lu(2000, 8.0, exponent=2.1, seed=4)
+        stats = degree_statistics(g)
+        assert stats.max_degree > 20 * stats.median_degree
+        assert stats.gini > 0.4
+
+    def test_higher_exponent_less_skew(self):
+        g_heavy = powerlaw_chung_lu(2000, 8.0, exponent=2.0, seed=4)
+        g_light = powerlaw_chung_lu(2000, 8.0, exponent=3.5, seed=4)
+        assert degree_statistics(g_heavy).gini > degree_statistics(g_light).gini
+
+    def test_invalid_exponent(self):
+        with pytest.raises(ValueError):
+            powerlaw_chung_lu(100, 5.0, exponent=0.9)
+
+
+class TestRmat:
+    def test_size(self):
+        g = rmat(10, edge_factor=8, seed=5)
+        assert g.num_vertices == 1024
+        # dedup removes some edges but most survive
+        assert g.num_edges > 0.4 * 8 * 1024
+
+    def test_determinism(self):
+        assert rmat(8, 4, seed=6) == rmat(8, 4, seed=6)
+
+    def test_skewed(self):
+        g = rmat(12, 16, seed=7)
+        stats = degree_statistics(g)
+        assert stats.max_degree > 10 * stats.mean_degree
+
+    def test_uniform_quadrants_like_er(self):
+        g = rmat(8, 8, a=0.25, b=0.25, c=0.25, seed=8)
+        stats = degree_statistics(g)
+        assert stats.max_degree < 8 * stats.mean_degree
+
+    def test_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            rmat(4, 4, a=0.9, b=0.2, c=0.2)
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        g = barabasi_albert(300, 3, seed=9)
+        # m edges per new vertex from m+1 onwards, plus the initial star
+        assert g.num_edges == 3 + (300 - 4) * 3
+
+    def test_hub_emergence(self):
+        g = barabasi_albert(500, 2, seed=10)
+        assert g.degrees().max() > 20
+
+    def test_bad_m(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(10, 0)
+        with pytest.raises(ValueError):
+            barabasi_albert(5, 5)
+
+
+class TestWattsStrogatz:
+    def test_no_rewire_is_lattice(self):
+        g = watts_strogatz(50, 4, 0.0, seed=11)
+        assert (g.degrees() == 4).all()
+
+    def test_rewired_still_valid(self):
+        watts_strogatz(200, 6, 0.3, seed=12).validate()
+
+    def test_not_skewed(self):
+        g = watts_strogatz(2000, 10, 0.1, seed=13)
+        stats = degree_statistics(g)
+        assert stats.max_degree < 3 * stats.mean_degree
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(ValueError):
+            watts_strogatz(20, 3, 0.1)

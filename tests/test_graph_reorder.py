@@ -1,0 +1,116 @@
+"""Tests for degree ordering and the LOTUS relabeling array."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    apply_degree_ordering,
+    degree_ordering_permutation,
+    from_edges,
+    lotus_relabeling_array,
+    powerlaw_chung_lu,
+    relabel,
+)
+from repro.tc import count_triangles_matrix
+
+
+class TestDegreeOrdering:
+    def test_descending(self, star20):
+        ra = degree_ordering_permutation(star20)
+        assert ra[0] == 0  # the hub gets ID 0
+
+    def test_is_permutation(self, er_small):
+        ra = degree_ordering_permutation(er_small)
+        assert sorted(ra) == list(range(er_small.num_vertices))
+
+    def test_degrees_monotone_after_relabel(self, powerlaw_small):
+        g2, _ = apply_degree_ordering(powerlaw_small)
+        deg = g2.degrees()
+        assert (np.diff(deg) <= 0).all() or (np.sort(deg)[::-1] == deg).all()
+
+    def test_tie_break_by_id(self):
+        g = from_edges(np.array([[0, 1], [2, 3]]))
+        ra = degree_ordering_permutation(g)
+        np.testing.assert_array_equal(ra, [0, 1, 2, 3])
+
+
+class TestRelabel:
+    def test_identity(self, er_small):
+        n = er_small.num_vertices
+        assert relabel(er_small, np.arange(n)) == er_small
+
+    def test_preserves_structure(self, er_small):
+        rng = np.random.default_rng(0)
+        ra = rng.permutation(er_small.num_vertices)
+        g2 = relabel(er_small, ra)
+        assert g2.num_edges == er_small.num_edges
+        g2.validate()
+
+    def test_triangle_count_invariant(self, er_medium):
+        """The triangle count is invariant under any relabeling."""
+        rng = np.random.default_rng(3)
+        ra = rng.permutation(er_medium.num_vertices)
+        assert count_triangles_matrix(relabel(er_medium, ra)) == count_triangles_matrix(er_medium)
+
+    def test_rejects_non_permutation(self, k5):
+        with pytest.raises(ValueError):
+            relabel(k5, np.array([0, 0, 1, 2, 3]))
+
+    def test_rejects_wrong_length(self, k5):
+        with pytest.raises(ValueError):
+            relabel(k5, np.arange(4))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25)
+    def test_random_permutation_preserves_triangles(self, seed):
+        g = powerlaw_chung_lu(150, 6.0, exponent=2.2, seed=1)
+        rng = np.random.default_rng(seed)
+        ra = rng.permutation(g.num_vertices)
+        assert count_triangles_matrix(relabel(g, ra)) == count_triangles_matrix(g)
+
+
+class TestLotusRelabeling:
+    def test_is_permutation(self, powerlaw_small):
+        ra = lotus_relabeling_array(powerlaw_small)
+        assert sorted(ra) == list(range(powerlaw_small.num_vertices))
+
+    def test_head_gets_top_degrees(self, powerlaw_small):
+        g = powerlaw_small
+        ra = lotus_relabeling_array(g, head_fraction=0.10)
+        head = int(round(g.num_vertices * 0.10))
+        deg = g.degrees()
+        head_old = np.flatnonzero(ra < head)
+        tail_old = np.flatnonzero(ra >= head)
+        # every head vertex has degree >= every tail vertex
+        assert deg[head_old].min() >= deg[tail_old].max() or True  # ties allowed
+        # strictly: the head contains the top-`head` degrees as a multiset
+        top = np.sort(deg)[::-1][:head]
+        np.testing.assert_array_equal(np.sort(deg[head_old])[::-1], top)
+
+    def test_head_sorted_descending(self, powerlaw_small):
+        g = powerlaw_small
+        ra = lotus_relabeling_array(g, head_fraction=0.05)
+        head = int(round(g.num_vertices * 0.05))
+        old_in_new_order = np.empty(g.num_vertices, dtype=np.int64)
+        old_in_new_order[ra] = np.arange(g.num_vertices)
+        head_degrees = g.degrees()[old_in_new_order[:head]]
+        assert (np.diff(head_degrees) <= 0).all()
+
+    def test_tail_preserves_original_order(self, er_small):
+        """The non-head vertices keep their relative order (Section 4.3.1)."""
+        g = er_small
+        ra = lotus_relabeling_array(g, head_fraction=0.10)
+        head = int(round(g.num_vertices * 0.10))
+        tail_old = np.flatnonzero(ra >= head)
+        # new IDs of the tail, in old-ID order, must be increasing
+        assert (np.diff(ra[tail_old]) > 0).all()
+
+    def test_zero_head_fraction(self, er_small):
+        ra = lotus_relabeling_array(er_small, head_fraction=0.0)
+        np.testing.assert_array_equal(ra, np.arange(er_small.num_vertices))
+
+    def test_bad_fraction(self, k5):
+        with pytest.raises(ValueError):
+            lotus_relabeling_array(k5, head_fraction=1.5)

@@ -1,0 +1,93 @@
+"""End-to-end integration: dataset -> LOTUS -> traces -> replay -> model.
+
+One test per pipeline stage chain, asserting cross-module consistency
+(the quantities that flow between subsystems must agree exactly).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import build_lotus_graph, count_hhh_hhn, lotus_count_from_structure
+from repro.graph import load_dataset
+from repro.graph.reorder import apply_degree_ordering
+from repro.memsim import (
+    MemoryHierarchy,
+    SKYLAKEX,
+    forward_opcounts,
+    forward_trace,
+    lotus_opcounts,
+    lotus_trace,
+    modeled_seconds,
+)
+from repro.memsim.trace import _phase1_pairs, h2h_access_lines
+from repro.tc import count_triangles_forward, count_triangles_matrix
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    name = "LJGrp"
+    g = load_dataset(name)
+    oriented = apply_degree_ordering(g)[0].orient_lower()
+    lotus = build_lotus_graph(g)
+    return g, oriented, lotus
+
+
+class TestCrossModuleConsistency:
+    def test_counts_agree_across_stacks(self, pipeline):
+        g, oriented, lotus = pipeline
+        assert (
+            count_triangles_matrix(g)
+            == count_triangles_forward(g).triangles
+            == lotus_count_from_structure(lotus).total
+        )
+
+    def test_phase1_probes_equal_pair_enumeration(self, pipeline):
+        """The trace builder and the counting kernel must enumerate the
+        same number of H2H probes."""
+        _, _, lotus = pipeline
+        deg = lotus.he.degrees()
+        expected_pairs = int((deg * (deg - 1) // 2).sum())
+        _, bits = _phase1_pairs(lotus)
+        assert bits.size == expected_pairs
+        assert h2h_access_lines(lotus).size == expected_pairs
+
+    def test_phase1_hits_equal_triangle_count(self, pipeline):
+        """H2H probe hits == HHH + HHN (Algorithm 3 lines 3-6)."""
+        _, _, lotus = pipeline
+        _, bits = _phase1_pairs(lotus)
+        h2h = lotus.h2h
+        hits = int(
+            np.count_nonzero(
+                (h2h.data[bits >> 3] >> (bits & 7).astype(np.uint8)) & 1
+            )
+        )
+        hhh, hhn = count_hhh_hhn(lotus)
+        assert hits == hhh + hhn
+
+    def test_trace_replay_cost_model_chain(self, pipeline):
+        """The full chain runs and preserves the headline ordering."""
+        _, oriented, lotus = pipeline
+        machine = SKYLAKEX.scaled(833)  # LJGrp per-dataset scale
+        hf = MemoryHierarchy(machine)
+        hf.access_lines(forward_trace(oriented))
+        hl = MemoryHierarchy(machine)
+        hl.access_lines(lotus_trace(lotus))
+        tf = modeled_seconds(forward_opcounts(oriented), hf.stats(), machine)
+        tl = modeled_seconds(lotus_opcounts(lotus), hl.stats(), machine)
+        assert tl.seconds_parallel < tf.seconds_parallel
+        assert hl.stats().llc_misses < hf.stats().llc_misses
+        assert hl.stats().dtlb_misses < hf.stats().dtlb_misses
+
+    def test_traces_are_deterministic(self, pipeline):
+        _, oriented, lotus = pipeline
+        np.testing.assert_array_equal(forward_trace(oriented), forward_trace(oriented))
+        np.testing.assert_array_equal(lotus_trace(lotus), lotus_trace(lotus))
+
+    def test_opcounts_loads_bounded_by_trace_bytes(self, pipeline):
+        """Sanity: modelled element loads and trace cacheline volumes agree
+        within the line-packing factor (4-byte elements, 64-byte lines)."""
+        _, oriented, _ = pipeline
+        loads = forward_opcounts(oriented).loads
+        trace_lines = forward_trace(oriented).size
+        assert trace_lines <= loads  # >= 1 element read per traced line
+        assert loads <= trace_lines * 16 * 3  # <= 16 elems/line (+ slack)

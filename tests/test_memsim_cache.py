@@ -1,0 +1,169 @@
+"""Tests for the cache, TLB, and hierarchy simulators."""
+
+import numpy as np
+import pytest
+
+from repro.memsim import MemoryHierarchy, SetAssociativeCache, TLB, SKYLAKEX
+from repro.memsim.cache import compress_consecutive
+
+
+class TestCompressConsecutive:
+    def test_basic(self):
+        lines, collapsed = compress_consecutive(np.array([1, 1, 1, 2, 2, 1]))
+        np.testing.assert_array_equal(lines, [1, 2, 1])
+        assert collapsed == 3
+
+    def test_empty(self):
+        lines, collapsed = compress_consecutive(np.array([], dtype=np.int64))
+        assert lines.size == 0 and collapsed == 0
+
+    def test_no_repeats(self):
+        lines, collapsed = compress_consecutive(np.array([3, 1, 2]))
+        assert collapsed == 0
+
+
+class TestSetAssociativeCache:
+    def test_cold_miss_then_hit(self):
+        c = SetAssociativeCache(1024, 64, 2)
+        assert c.access_lines(np.array([5])).size == 1  # miss
+        assert c.access_lines(np.array([5])).size == 0  # hit
+        assert c.stats.accesses == 2 and c.stats.hits == 1
+
+    def test_lru_eviction(self):
+        # 1 set, 2 ways
+        c = SetAssociativeCache(128, 64, 2)
+        assert c.num_sets == 1
+        c.access_lines(np.array([0, 1]))  # fill
+        c.access_lines(np.array([0]))     # 0 is now MRU
+        misses = c.access_lines(np.array([2]))  # evicts 1
+        assert misses.size == 1
+        assert c.access_lines(np.array([0])).size == 0  # 0 survived
+        assert c.access_lines(np.array([1])).size == 1  # 1 evicted
+
+    def test_set_conflict(self):
+        # 2 sets, 1 way: lines 0 and 2 collide (even), 1 and 3 collide (odd)
+        c = SetAssociativeCache(128, 64, 1)
+        assert c.num_sets == 2
+        c.access_lines(np.array([0, 1]))
+        assert c.access_lines(np.array([2])).size == 1  # evicts 0
+        assert c.access_lines(np.array([1])).size == 0  # odd set untouched
+        assert c.access_lines(np.array([0])).size == 1
+
+    def test_working_set_fits(self):
+        c = SetAssociativeCache(64 * 1024, 64, 8)
+        lines = np.arange(100)
+        c.access_lines(lines)  # cold
+        for _ in range(5):
+            assert c.access_lines(lines).size == 0
+        assert c.stats.misses == 100
+
+    def test_working_set_too_big_thrashes(self):
+        c = SetAssociativeCache(64 * 64, 64, 1)  # 64 lines direct-mapped
+        lines = np.arange(128)  # 2x capacity, round-robin: always miss
+        c.access_lines(lines)
+        second = c.access_lines(lines)
+        assert second.size == 128
+
+    def test_disabled_cache(self):
+        c = SetAssociativeCache(0, 64, 8)
+        out = c.access_lines(np.array([1, 1, 2]))
+        assert out.size == 3
+
+    def test_credit_hits(self):
+        c = SetAssociativeCache(1024, 64, 2)
+        c.credit_hits(10)
+        assert c.stats.accesses == 10 and c.stats.hits == 10
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(-1)
+
+
+class TestTLB:
+    def test_page_granularity(self):
+        tlb = TLB(entries=4, page_bytes=4096)
+        # addresses on the same page: one miss, rest hits
+        tlb.access_bytes(np.array([0, 100, 4095]))
+        assert tlb.stats.misses == 1
+        assert tlb.stats.hits == 2
+
+    def test_capacity(self):
+        tlb = TLB(entries=2, page_bytes=4096)
+        tlb.access_pages(np.array([0, 1, 2]))  # 3 pages, 2 entries
+        tlb.access_pages(np.array([0]))        # evicted
+        assert tlb.stats.misses == 4
+
+    def test_invalid_entries(self):
+        with pytest.raises(ValueError):
+            TLB(entries=0)
+
+
+class TestHierarchy:
+    def test_miss_filtering(self):
+        h = MemoryHierarchy(SKYLAKEX.scaled(1024))
+        lines = np.arange(64)
+        h.access_lines(lines)
+        s = h.stats()
+        assert s.accesses == 64
+        assert s.l1_misses <= s.accesses
+        assert s.l2_misses <= s.l1_misses
+        assert s.llc_misses <= s.l2_misses
+
+    def test_repeat_stream_hits_l1(self):
+        h = MemoryHierarchy(SKYLAKEX)
+        lines = np.array([7] * 100)
+        h.access_lines(lines)
+        s = h.stats()
+        assert s.l1_misses == 1
+        assert s.l1_hits == 99
+
+    def test_byte_address_api(self):
+        h = MemoryHierarchy(SKYLAKEX)
+        h.access_byte_addresses(np.array([0, 63, 64, 4096]))
+        s = h.stats()
+        assert s.accesses == 4
+        assert s.l1_misses == 3  # lines 0, 1, 64
+        assert s.dtlb_misses == 2  # pages 0 and 1
+
+    def test_reset(self):
+        h = MemoryHierarchy(SKYLAKEX)
+        h.access_lines(np.arange(10))
+        h.reset()
+        assert h.stats().accesses == 0
+
+    def test_larger_cache_fewer_misses(self):
+        rng = np.random.default_rng(0)
+        lines = rng.integers(0, 4000, size=20_000)
+        small = MemoryHierarchy(SKYLAKEX.scaled(2048))
+        big = MemoryHierarchy(SKYLAKEX.scaled(64))
+        small.access_lines(lines)
+        big.access_lines(lines)
+        assert big.stats().llc_misses < small.stats().llc_misses
+
+
+class TestMachineSpecs:
+    def test_table3_values(self):
+        from repro.memsim import MACHINES, EPYC, HASWELL
+
+        assert MACHINES["SkyLakeX"].cores == 32
+        assert MACHINES["Haswell"].cores == 40
+        assert EPYC.cores == 128
+        # Epyc's L3 is ~12x SkyLakeX's (Section 5.2)
+        assert EPYC.l3_bytes_total / MACHINES["SkyLakeX"].l3_bytes_total > 11
+
+    def test_scaling_preserves_ratio(self):
+        from repro.memsim import EPYC, SKYLAKEX
+
+        e = EPYC.scaled(256)
+        s = SKYLAKEX.scaled(256)
+        assert e.l3_bytes_total / s.l3_bytes_total == pytest.approx(
+            EPYC.l3_bytes_total / SKYLAKEX.l3_bytes_total, rel=0.01
+        )
+
+    def test_scaling_floors_at_one_set(self):
+        m = SKYLAKEX.scaled(10**9)
+        assert m.l1_bytes >= m.line_bytes * m.l1_ways
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            SKYLAKEX.scaled(0)

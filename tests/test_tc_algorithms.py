@@ -1,0 +1,145 @@
+"""Cross-validation of every triangle-counting algorithm.
+
+All implementations must agree with the matrix oracle (tr(A^3)/6) and —
+on small graphs — with networkx.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import networkx as nx
+
+from repro.graph import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    erdos_renyi,
+    from_edges,
+    powerlaw_chung_lu,
+    star_graph,
+    watts_strogatz,
+)
+from repro.tc import (
+    count_triangles_block,
+    count_triangles_edge_iterator,
+    count_triangles_forward,
+    count_triangles_forward_hashed,
+    count_triangles_matrix,
+    count_triangles_node_iterator,
+)
+from repro.core import count_triangles_lotus, LotusConfig
+
+ALGORITHMS = [
+    ("forward", lambda g: count_triangles_forward(g).triangles),
+    ("forward-unfused", lambda g: count_triangles_forward(g, fused=False).triangles),
+    ("forward-natural", lambda g: count_triangles_forward(g, degree_order=False).triangles),
+    ("node-iterator", lambda g: count_triangles_node_iterator(g).triangles),
+    ("edge-iterator", lambda g: count_triangles_edge_iterator(g).triangles),
+    ("forward-hashed", lambda g: count_triangles_forward_hashed(g).triangles),
+    ("block-4", lambda g: count_triangles_block(g, num_blocks=4).triangles),
+    ("block-1", lambda g: count_triangles_block(g, num_blocks=1).triangles),
+    ("lotus", lambda g: count_triangles_lotus(g).triangles),
+    ("lotus-16hubs", lambda g: count_triangles_lotus(g, LotusConfig(hub_count=16)).triangles),
+]
+
+
+def _nx_triangles(g):
+    h = nx.Graph()
+    h.add_nodes_from(range(g.num_vertices))
+    h.add_edges_from(map(tuple, g.edges()))
+    return sum(nx.triangles(h).values()) // 3
+
+
+@pytest.mark.parametrize("name,count", ALGORITHMS)
+class TestAgainstOracle:
+    def test_complete_k6(self, name, count):
+        assert count(complete_graph(6)) == 20  # C(6,3)
+
+    def test_triangle_free_cycle(self, name, count):
+        assert count(cycle_graph(10)) == 0
+
+    def test_single_triangle(self, name, count):
+        assert count(complete_graph(3)) == 1
+
+    def test_empty(self, name, count):
+        assert count(empty_graph(12)) == 0
+
+    def test_star_no_triangles(self, name, count):
+        assert count(star_graph(15)) == 0
+
+    def test_er_matches_matrix(self, name, count):
+        g = erdos_renyi(150, 0.07, seed=21)
+        assert count(g) == count_triangles_matrix(g)
+
+    def test_powerlaw_matches_matrix(self, name, count):
+        g = powerlaw_chung_lu(600, 7.0, exponent=2.1, seed=22)
+        assert count(g) == count_triangles_matrix(g)
+
+    def test_smallworld_matches_matrix(self, name, count):
+        g = watts_strogatz(300, 6, 0.2, seed=23)
+        assert count(g) == count_triangles_matrix(g)
+
+    def test_matches_networkx(self, name, count):
+        g = erdos_renyi(80, 0.12, seed=24)
+        assert count(g) == _nx_triangles(g)
+
+
+class TestMatrixOracle:
+    def test_against_networkx_random(self):
+        for seed in range(5):
+            g = erdos_renyi(60, 0.15, seed=seed)
+            assert count_triangles_matrix(g) == _nx_triangles(g)
+
+    def test_two_triangles_sharing_edge(self):
+        g = from_edges(np.array([[0, 1], [1, 2], [0, 2], [0, 3], [1, 3]]))
+        assert count_triangles_matrix(g) == 2
+
+
+class TestProperties:
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_forward_equals_matrix_on_random_graphs(self, seed):
+        g = erdos_renyi(100, 0.08, seed=seed)
+        assert count_triangles_forward(g).triangles == count_triangles_matrix(g)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_lotus_equals_matrix_on_random_graphs(self, seed):
+        g = powerlaw_chung_lu(200, 6.0, exponent=2.2, seed=seed)
+        assert count_triangles_lotus(g).triangles == count_triangles_matrix(g)
+
+    @given(st.integers(2, 40))
+    @settings(max_examples=15, deadline=None)
+    def test_complete_graph_closed_form(self, n):
+        expected = n * (n - 1) * (n - 2) // 6
+        assert count_triangles_forward(complete_graph(n)).triangles == expected
+
+    def test_adding_edge_never_decreases(self):
+        g1 = erdos_renyi(50, 0.1, seed=3)
+        edges = g1.edges()
+        # add one absent edge
+        present = {tuple(e) for e in edges.tolist()}
+        for u in range(50):
+            for v in range(u + 1, 50):
+                if (u, v) not in present:
+                    g2 = from_edges(
+                        np.vstack([edges, [[u, v]]]), num_vertices=50
+                    )
+                    assert (
+                        count_triangles_forward(g2).triangles
+                        >= count_triangles_forward(g1).triangles
+                    )
+                    return
+
+
+class TestResultMetadata:
+    def test_phases_recorded(self, er_small):
+        r = count_triangles_forward(er_small)
+        assert "preprocess" in r.phases and "count" in r.phases
+        assert r.elapsed == pytest.approx(sum(r.phases.values()))
+
+    def test_rate(self, er_small):
+        r = count_triangles_forward(er_small)
+        assert r.rate_edges_per_second(er_small.num_edges) > 0

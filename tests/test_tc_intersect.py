@@ -1,0 +1,165 @@
+"""Tests for the intersection kernels — all four families must agree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import erdos_renyi
+from repro.tc.intersect import (
+    INTERSECT_KERNELS,
+    batch_intersect_counts,
+    batch_pairwise_counts,
+    intersect_count_binary,
+    intersect_count_bitmap,
+    intersect_count_hash,
+    intersect_count_merge,
+    merge_join_cost,
+    merge_join_touched,
+)
+
+sorted_arrays = st.lists(st.integers(0, 60), max_size=40).map(
+    lambda xs: np.array(sorted(set(xs)), dtype=np.int64)
+)
+
+
+class TestScalarKernels:
+    CASES = [
+        ([], [], 0),
+        ([1, 2, 3], [], 0),
+        ([1, 3, 5], [2, 4, 6], 0),
+        ([1, 2, 3], [1, 2, 3], 3),
+        ([1, 2, 3, 9], [2, 9], 2),
+        ([5], [5], 1),
+    ]
+
+    @pytest.mark.parametrize("name,kernel", sorted(INTERSECT_KERNELS.items()))
+    @pytest.mark.parametrize("a,b,expected", CASES)
+    def test_known_cases(self, name, kernel, a, b, expected):
+        a = np.array(a, dtype=np.int64)
+        b = np.array(b, dtype=np.int64)
+        assert kernel(a, b) == expected, name
+
+    @given(sorted_arrays, sorted_arrays)
+    @settings(max_examples=60)
+    def test_kernels_agree(self, a, b):
+        expected = len(set(a.tolist()) & set(b.tolist()))
+        for name, kernel in INTERSECT_KERNELS.items():
+            assert kernel(a, b) == expected, name
+
+    def test_galloping_extreme_ratio(self):
+        big = np.arange(0, 10_000, 3, dtype=np.int64)
+        small = np.array([0, 2999, 2001, 9999], dtype=np.int64)
+        small.sort()
+        from repro.tc.intersect import intersect_count_galloping
+
+        expected = len(set(small.tolist()) & set(big.tolist()))
+        assert intersect_count_galloping(small, big) == expected
+
+    def test_adaptive_dispatches_both_ways(self):
+        from repro.tc.intersect import intersect_count_adaptive
+
+        a = np.arange(4, dtype=np.int64)
+        big = np.arange(0, 1000, 2, dtype=np.int64)
+        assert intersect_count_adaptive(a, big) == 2  # binary path
+        assert intersect_count_adaptive(a, a) == 4    # merge path
+
+    @given(sorted_arrays, sorted_arrays)
+    @settings(max_examples=60)
+    def test_symmetry(self, a, b):
+        assert intersect_count_binary(a, b) == intersect_count_binary(b, a)
+
+
+class TestMergeJoinCost:
+    def _literal_cost(self, a, b):
+        i = j = steps = 0
+        while i < len(a) and j < len(b):
+            steps += 1
+            if a[i] == b[j]:
+                i += 1
+                j += 1
+            elif a[i] < b[j]:
+                i += 1
+            else:
+                j += 1
+        return steps
+
+    @given(sorted_arrays, sorted_arrays)
+    @settings(max_examples=80)
+    def test_matches_literal_loop(self, a, b):
+        assert merge_join_cost(a, b) == self._literal_cost(a, b)
+
+    def test_empty(self):
+        assert merge_join_cost(np.array([]), np.array([1, 2])) == 0
+
+    @given(sorted_arrays, sorted_arrays)
+    @settings(max_examples=40)
+    def test_touched_bounds(self, a, b):
+        ta, tb = merge_join_touched(a, b)
+        assert 0 <= ta <= a.size
+        assert 0 <= tb <= b.size
+        if a.size and b.size:
+            # a merge must touch at least one element of each list
+            assert ta >= 1 and tb >= 1
+
+
+class TestBatchKernels:
+    def test_batch_intersect_counts(self, er_small):
+        g = er_small
+        og = g.orient_lower()
+        v = int(np.argmax(og.degrees()))
+        row = og.neighbors(v)
+        counts = batch_intersect_counts(og.indptr, og.indices, row, row.astype(np.int64))
+        expected = [
+            intersect_count_merge(row, og.neighbors(int(u))) for u in row
+        ]
+        np.testing.assert_array_equal(counts, expected)
+
+    def test_batch_empty_rows(self):
+        indptr = np.array([0, 0, 2], dtype=np.int64)
+        indices = np.array([0, 1], dtype=np.uint32)
+        out = batch_intersect_counts(indptr, indices, np.array([0, 1]), np.array([0, 1]))
+        np.testing.assert_array_equal(out, [0, 2])
+
+    def test_batch_empty_query(self):
+        indptr = np.array([0, 1], dtype=np.int64)
+        indices = np.array([0], dtype=np.uint32)
+        out = batch_intersect_counts(indptr, indices, np.array([], dtype=np.int64), np.array([0]))
+        np.testing.assert_array_equal(out, [0])
+
+    def test_batch_no_rows(self):
+        indptr = np.array([0, 1], dtype=np.int64)
+        indices = np.array([0], dtype=np.uint32)
+        assert batch_intersect_counts(indptr, indices, np.array([0]), np.array([], dtype=np.int64)).size == 0
+
+    def test_pairwise_matches_scalar(self, er_medium):
+        g = er_medium
+        edges = g.edges()
+        expected = sum(
+            intersect_count_merge(g.neighbors(int(u)), g.neighbors(int(v)))
+            for u, v in edges
+        )
+        got = batch_pairwise_counts(
+            g.indptr, g.indices, g.indptr, g.indices, edges[:, 0], edges[:, 1]
+        )
+        assert got == expected
+
+    def test_pairwise_empty(self):
+        indptr = np.array([0, 1], dtype=np.int64)
+        indices = np.array([0], dtype=np.uint32)
+        assert (
+            batch_pairwise_counts(
+                indptr, indices, indptr, indices,
+                np.array([], dtype=np.int64), np.array([], dtype=np.int64),
+            )
+            == 0
+        )
+
+    def test_pairwise_asymmetric_structures(self):
+        """A and B may be different CSR structures."""
+        ip_a = np.array([0, 3], dtype=np.int64)
+        ix_a = np.array([1, 5, 9], dtype=np.uint32)
+        ip_b = np.array([0, 2], dtype=np.int64)
+        ix_b = np.array([5, 9], dtype=np.uint32)
+        got = batch_pairwise_counts(ip_a, ix_a, ip_b, ix_b, np.array([0]), np.array([0]))
+        assert got == 2

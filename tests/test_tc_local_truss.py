@@ -1,0 +1,161 @@
+"""Tests for local triangle counting, clustering, and k-truss."""
+
+import numpy as np
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    erdos_renyi,
+    from_edges,
+    powerlaw_chung_lu,
+    star_graph,
+)
+from repro.tc import (
+    count_triangles_matrix,
+    edge_supports,
+    global_transitivity,
+    k_truss,
+    local_clustering_coefficients,
+    local_triangle_counts,
+    truss_numbers,
+)
+
+
+def _to_nx(g):
+    h = nx.Graph()
+    h.add_nodes_from(range(g.num_vertices))
+    h.add_edges_from(map(tuple, g.edges()))
+    return h
+
+
+class TestLocalTriangleCounts:
+    def test_matches_networkx(self, er_medium):
+        counts = local_triangle_counts(er_medium)
+        expected = nx.triangles(_to_nx(er_medium))
+        assert all(counts[v] == expected[v] for v in range(er_medium.num_vertices))
+
+    def test_sum_is_three_times_total(self, powerlaw_small):
+        counts = local_triangle_counts(powerlaw_small)
+        assert counts.sum() == 3 * count_triangles_matrix(powerlaw_small)
+
+    def test_natural_order_agrees(self, er_small):
+        a = local_triangle_counts(er_small, degree_order=True)
+        b = local_triangle_counts(er_small, degree_order=False)
+        np.testing.assert_array_equal(a, b)
+
+    def test_complete_graph(self):
+        counts = local_triangle_counts(complete_graph(6))
+        assert (counts == 10).all()  # C(5,2) per vertex
+
+    def test_triangle_free(self):
+        assert local_triangle_counts(cycle_graph(8)).sum() == 0
+        assert local_triangle_counts(star_graph(9)).sum() == 0
+
+    def test_empty(self):
+        assert local_triangle_counts(empty_graph(5)).sum() == 0
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_property_vs_networkx(self, seed):
+        g = erdos_renyi(80, 0.1, seed=seed)
+        counts = local_triangle_counts(g)
+        expected = nx.triangles(_to_nx(g))
+        assert all(counts[v] == expected[v] for v in range(80))
+
+
+class TestClustering:
+    def test_matches_networkx(self, er_medium):
+        mine = local_clustering_coefficients(er_medium)
+        theirs = nx.clustering(_to_nx(er_medium))
+        np.testing.assert_allclose(
+            mine, [theirs[v] for v in range(er_medium.num_vertices)]
+        )
+
+    def test_transitivity_matches_networkx(self, powerlaw_small):
+        assert global_transitivity(powerlaw_small) == pytest.approx(
+            nx.transitivity(_to_nx(powerlaw_small))
+        )
+
+    def test_complete_graph_is_one(self):
+        assert (local_clustering_coefficients(complete_graph(5)) == 1.0).all()
+        assert global_transitivity(complete_graph(5)) == pytest.approx(1.0)
+
+    def test_degree_one_vertices_zero(self):
+        assert (local_clustering_coefficients(star_graph(6))[1:] == 0.0).all()
+
+    def test_empty(self):
+        assert global_transitivity(empty_graph(3)) == 0.0
+
+
+class TestEdgeSupports:
+    def test_triangle(self):
+        g = complete_graph(3)
+        edges, support = edge_supports(g)
+        assert (support == 1).all()
+
+    def test_k4(self):
+        edges, support = edge_supports(complete_graph(4))
+        assert (support == 2).all()  # every edge in 2 triangles
+
+    def test_sum_is_three_times_triangles(self, er_medium):
+        _, support = edge_supports(er_medium)
+        assert support.sum() == 3 * count_triangles_matrix(er_medium)
+
+    def test_no_triangles(self):
+        _, support = edge_supports(cycle_graph(10))
+        assert (support == 0).all()
+
+    def test_two_triangles_shared_edge(self):
+        g = from_edges(np.array([[0, 1], [1, 2], [0, 2], [0, 3], [1, 3]]))
+        edges, support = edge_supports(g)
+        by_edge = {tuple(e): s for e, s in zip(edges.tolist(), support.tolist())}
+        assert by_edge[(0, 1)] == 2
+        assert by_edge[(1, 2)] == 1
+
+
+class TestKTruss:
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_matches_networkx(self, k):
+        g = erdos_renyi(120, 0.1, seed=9)
+        mine = k_truss(g, k)
+        theirs = nx.k_truss(_to_nx(g), k)
+        assert set(map(tuple, mine.edges())) == {
+            tuple(sorted(e)) for e in theirs.edges()
+        }
+
+    def test_k2_keeps_everything(self, er_small):
+        assert k_truss(er_small, 2).num_edges == er_small.num_edges
+
+    def test_complete_graph(self):
+        g = complete_graph(6)
+        assert k_truss(g, 6).num_edges == 15  # K6 is a 6-truss
+        assert k_truss(g, 7).num_edges == 0
+
+    def test_truss_numbers_monotone_with_support(self, er_medium):
+        edges, truss = truss_numbers(er_medium)
+        _, support = edge_supports(er_medium)
+        # trussness is at most support + 2
+        assert (truss <= support + 2).all()
+        assert (truss >= 2).all()
+
+    def test_invalid_k(self, k5):
+        with pytest.raises(ValueError):
+            k_truss(k5, 1)
+
+    def test_empty_graph(self):
+        edges, truss = truss_numbers(empty_graph(4))
+        assert truss.size == 0
+
+    def test_powerlaw_against_networkx(self):
+        g = powerlaw_chung_lu(300, 8.0, exponent=2.1, seed=10)
+        for k in (3, 4):
+            mine = k_truss(g, k)
+            theirs = nx.k_truss(_to_nx(g), k)
+            assert set(map(tuple, mine.edges())) == {
+                tuple(sorted(e)) for e in theirs.edges()
+            }

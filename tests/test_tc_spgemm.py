@@ -1,0 +1,95 @@
+"""Tests for the from-scratch masked/boolean SpGEMM."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import complete_graph, cycle_graph, empty_graph, erdos_renyi, powerlaw_chung_lu
+from repro.tc import count_triangles_matrix, count_triangles_spgemm
+from repro.tc.spgemm import masked_spgemm_count, spgemm_boolean
+
+
+class TestMaskedSpGEMM:
+    def test_matches_matrix_oracle(self, er_medium):
+        assert count_triangles_spgemm(er_medium).triangles == count_triangles_matrix(
+            er_medium
+        )
+
+    def test_powerlaw(self, powerlaw_small):
+        assert (
+            count_triangles_spgemm(powerlaw_small).triangles
+            == count_triangles_matrix(powerlaw_small)
+        )
+
+    def test_complete(self):
+        assert count_triangles_spgemm(complete_graph(8)).triangles == 56
+
+    def test_triangle_free(self):
+        assert count_triangles_spgemm(cycle_graph(12)).triangles == 0
+
+    def test_empty(self):
+        assert count_triangles_spgemm(empty_graph(5)).triangles == 0
+
+    def test_natural_order(self, er_small):
+        assert (
+            count_triangles_spgemm(er_small, degree_order=False).triangles
+            == count_triangles_matrix(er_small)
+        )
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=12, deadline=None)
+    def test_property(self, seed):
+        g = erdos_renyi(90, 0.1, seed=seed)
+        assert count_triangles_spgemm(g).triangles == count_triangles_matrix(g)
+
+    def test_chunking_invariance(self):
+        """The count must not depend on the chunk budget."""
+        g = powerlaw_chung_lu(800, 10.0, exponent=2.0, seed=4)
+        og = g.orient_lower()
+        full = masked_spgemm_count(og.indptr, og.indices)
+        tiny = masked_spgemm_count(og.indptr, og.indices, budget=64)
+        assert full == tiny == count_triangles_matrix(g)
+
+    def test_invalid_budget(self, er_small):
+        og = er_small.orient_lower()
+        with pytest.raises(ValueError):
+            masked_spgemm_count(og.indptr, og.indices, budget=0)
+
+
+class TestBooleanSpGEMM:
+    def _scipy_product(self, ip_a, ix_a, ip_b, ix_b, n):
+        A = sp.csr_matrix(
+            (np.ones(ix_a.size), ix_a.astype(np.int64), ip_a), shape=(ip_a.size - 1, n)
+        )
+        B = sp.csr_matrix(
+            (np.ones(ix_b.size), ix_b.astype(np.int64), ip_b), shape=(ip_b.size - 1, n)
+        )
+        P = (A @ B).tocsr()
+        P.sum_duplicates()
+        P.sort_indices()
+        return P.indptr.astype(np.int64), P.indices.astype(np.int64)
+
+    def test_matches_scipy(self, er_small):
+        og = er_small.orient_lower()
+        n = og.num_vertices
+        ip, ix = spgemm_boolean(og.indptr, og.indices, og.indptr, og.indices, n)
+        eip, eix = self._scipy_product(og.indptr, og.indices, og.indptr, og.indices, n)
+        np.testing.assert_array_equal(ip, eip)
+        np.testing.assert_array_equal(ix, eix)
+
+    def test_full_symmetric_product(self, er_small):
+        g = er_small
+        n = g.num_vertices
+        ip, ix = spgemm_boolean(g.indptr, g.indices, g.indptr, g.indices, n)
+        eip, eix = self._scipy_product(g.indptr, g.indices, g.indptr, g.indices, n)
+        np.testing.assert_array_equal(ip, eip)
+        np.testing.assert_array_equal(ix, eix)
+
+    def test_empty(self):
+        ip = np.array([0, 0], dtype=np.int64)
+        ix = np.array([], dtype=np.uint32)
+        rip, rix = spgemm_boolean(ip, ix, ip, ix, 1)
+        np.testing.assert_array_equal(rip, [0, 0])
+        assert rix.size == 0

@@ -1,0 +1,208 @@
+"""Tests for approximate/streaming TC and k-clique counting."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    powerlaw_chung_lu,
+    star_graph,
+)
+from repro.graph.degree import hub_mask_top_k
+from repro.tc import (
+    StreamingLotusCounter,
+    count_kcliques,
+    count_kcliques_hub,
+    count_triangles_matrix,
+    doulion_estimate,
+    reservoir_triangle_estimate,
+)
+
+
+class TestDoulion:
+    def test_p_one_is_exact(self):
+        g = erdos_renyi(200, 0.08, seed=1)
+        assert doulion_estimate(g, 1.0) == count_triangles_matrix(g)
+
+    def test_p_zero(self):
+        g = erdos_renyi(100, 0.1, seed=2)
+        assert doulion_estimate(g, 0.0) == 0.0
+
+    def test_estimate_within_tolerance(self):
+        g = powerlaw_chung_lu(3000, 12.0, exponent=2.1, seed=3)
+        exact = count_triangles_matrix(g)
+        estimates = [doulion_estimate(g, 0.5, seed=s) for s in range(5)]
+        mean = np.mean(estimates)
+        assert abs(mean - exact) / exact < 0.25
+
+    def test_deterministic_given_seed(self):
+        g = erdos_renyi(200, 0.08, seed=4)
+        assert doulion_estimate(g, 0.4, seed=7) == doulion_estimate(g, 0.4, seed=7)
+
+
+class TestReservoir:
+    def test_large_reservoir_is_exact(self):
+        g = erdos_renyi(120, 0.1, seed=5)
+        edges = g.edges()
+        est = reservoir_triangle_estimate(edges, reservoir_size=edges.shape[0] + 10)
+        assert est == count_triangles_matrix(g)
+
+    def test_small_reservoir_estimates(self):
+        g = powerlaw_chung_lu(1500, 10.0, exponent=2.1, seed=6)
+        exact = count_triangles_matrix(g)
+        edges = g.edges()
+        rng = np.random.default_rng(0)
+        edges = edges[rng.permutation(edges.shape[0])]
+        ests = [
+            reservoir_triangle_estimate(edges, reservoir_size=edges.shape[0] // 3, seed=s)
+            for s in range(5)
+        ]
+        assert abs(np.mean(ests) - exact) / exact < 0.5
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            reservoir_triangle_estimate(np.zeros((0, 2)), 0)
+
+
+class TestWedgeSampling:
+    def test_unbiased_on_powerlaw(self):
+        from repro.tc import wedge_sampling_estimate
+
+        g = powerlaw_chung_lu(2000, 10.0, exponent=2.1, seed=20)
+        exact = count_triangles_matrix(g)
+        ests = [wedge_sampling_estimate(g, 20_000, seed=s) for s in range(3)]
+        assert abs(np.mean(ests) - exact) / exact < 0.1
+
+    def test_triangle_free(self):
+        from repro.graph import cycle_graph
+        from repro.tc import wedge_sampling_estimate
+
+        assert wedge_sampling_estimate(cycle_graph(50), 500) == 0.0
+
+    def test_complete_graph_exact_kappa(self):
+        from repro.tc import wedge_sampling_estimate
+
+        g = complete_graph(10)
+        # every wedge closes: kappa = 1, estimate is exactly W/3 = 120
+        assert wedge_sampling_estimate(g, 200, seed=1) == pytest.approx(120.0)
+
+    def test_empty(self):
+        from repro.graph import star_graph
+        from repro.tc import wedge_sampling_estimate
+
+        assert wedge_sampling_estimate(star_graph(10), 100) == 0.0
+
+    def test_invalid_samples(self, k5):
+        from repro.tc import wedge_sampling_estimate
+
+        with pytest.raises(ValueError):
+            wedge_sampling_estimate(k5, 0)
+
+
+class TestStreamingLotus:
+    def _stream(self, g, seed=0):
+        edges = g.edges()
+        rng = np.random.default_rng(seed)
+        return edges[rng.permutation(edges.shape[0])]
+
+    def test_exact_when_keeping_everything(self):
+        g = powerlaw_chung_lu(800, 8.0, exponent=2.1, seed=7)
+        hubs = np.flatnonzero(hub_mask_top_k(g, 20))
+        counter = StreamingLotusCounter(hubs, nn_keep_prob=1.0)
+        counter.update_many(self._stream(g))
+        assert counter.estimate_total() == count_triangles_matrix(g)
+
+    def test_hub_triangles_match_lotus_decomposition(self):
+        from repro.core import LotusConfig, count_triangles_lotus
+
+        g = powerlaw_chung_lu(800, 8.0, exponent=2.1, seed=8)
+        k = 25
+        hubs = np.flatnonzero(hub_mask_top_k(g, k))
+        counter = StreamingLotusCounter(hubs)
+        counter.update_many(self._stream(g))
+        r = count_triangles_lotus(g, LotusConfig(hub_count=k, head_fraction=0.0))
+        assert counter.hub_triangles == r.extra["counts"].hub
+
+    def test_hub_estimate_unbiased_under_sampling(self):
+        """Dropping NN edges keeps the hub-triangle estimator unbiased and
+        much lower-variance than the NNN part (Section 6.2's precision
+        claim: most hub-triangle edges are always retained)."""
+        g = powerlaw_chung_lu(800, 8.0, exponent=2.0, seed=9)
+        hubs = np.flatnonzero(hub_mask_top_k(g, 30))
+        exact = StreamingLotusCounter(hubs, nn_keep_prob=1.0)
+        exact.update_many(self._stream(g))
+        estimates = []
+        for s in range(5):
+            sampled = StreamingLotusCounter(hubs, nn_keep_prob=0.3, seed=s)
+            sampled.update_many(self._stream(g))
+            estimates.append(sampled.hub_triangles)
+            assert sampled.edges_stored < exact.edges_stored
+        mean = np.mean(estimates)
+        assert abs(mean - exact.hub_triangles) / exact.hub_triangles < 0.1
+
+    def test_duplicate_and_self_edges_ignored(self):
+        counter = StreamingLotusCounter(np.array([0]))
+        counter.update(1, 1)
+        counter.update(1, 2)
+        counter.update(1, 2)
+        counter.update(2, 1)
+        assert counter.edges_seen == 3  # self edge skipped entirely
+        assert counter.edges_stored == 1
+
+    def test_triangle_through_hub(self):
+        counter = StreamingLotusCounter(np.array([0]))
+        counter.update(0, 1)
+        counter.update(0, 2)
+        counter.update(1, 2)
+        assert counter.hub_triangles == 1
+        assert counter.nnn_estimate == 0.0
+
+
+class TestKClique:
+    def test_k3_equals_triangles(self):
+        g = erdos_renyi(150, 0.08, seed=10)
+        assert count_kcliques(g, 3) == count_triangles_matrix(g)
+
+    def test_complete_graph_closed_form(self):
+        from math import comb
+
+        g = complete_graph(10)
+        for k in range(1, 6):
+            assert count_kcliques(g, k) == comb(10, k)
+
+    def test_k1_k2(self, er_small):
+        assert count_kcliques(er_small, 1) == er_small.num_vertices
+        assert count_kcliques(er_small, 2) == er_small.num_edges
+
+    def test_no_k4_in_triangle(self):
+        assert count_kcliques(complete_graph(3), 4) == 0
+
+    def test_cycle_has_no_cliques(self):
+        assert count_kcliques(cycle_graph(12), 3) == 0
+
+    def test_natural_order_agrees(self):
+        g = erdos_renyi(100, 0.1, seed=11)
+        assert count_kcliques(g, 4) == count_kcliques(g, 4, degree_order=False)
+
+    def test_invalid_k(self, k5):
+        with pytest.raises(ValueError):
+            count_kcliques(k5, 0)
+
+    def test_hub_decomposition_sums(self):
+        g = powerlaw_chung_lu(600, 8.0, exponent=2.0, seed=12)
+        d = count_kcliques_hub(g, 3, hub_count=10)
+        assert d["hub"] + d["non_hub"] == d["total"]
+        assert d["total"] == count_triangles_matrix(g)
+
+    def test_hub_share_grows_with_k(self):
+        """The paper's future-work conjecture: hub dominance increases for
+        larger cliques (Section 7)."""
+        g = powerlaw_chung_lu(1200, 12.0, exponent=2.0, seed=13)
+        f3 = count_kcliques_hub(g, 3, hub_count=12)["hub_fraction"]
+        f4 = count_kcliques_hub(g, 4, hub_count=12)["hub_fraction"]
+        assert f4 >= f3 * 0.98  # allow tiny noise, expect growth
+
+    def test_star_no_cliques_beyond_edges(self):
+        assert count_kcliques(star_graph(20), 3) == 0

@@ -1,0 +1,75 @@
+"""Tests for timers and the TCResult record."""
+
+import time
+
+import pytest
+
+from repro.tc.result import TCResult
+from repro.util.timer import PhaseTimer, Timer
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_reusable(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            time.sleep(0.005)
+        assert t.elapsed >= 0.004
+        assert t.elapsed != first or first == 0.0
+
+
+class TestPhaseTimer:
+    def test_accumulates(self):
+        pt = PhaseTimer()
+        with pt.phase("a"):
+            time.sleep(0.005)
+        with pt.phase("a"):
+            time.sleep(0.005)
+        with pt.phase("b"):
+            pass
+        assert pt.phases["a"] >= 0.009
+        assert set(pt.phases) == {"a", "b"}
+        assert pt.total == pytest.approx(sum(pt.phases.values()))
+
+    def test_fractions_sum_to_one(self):
+        pt = PhaseTimer()
+        with pt.phase("x"):
+            time.sleep(0.002)
+        with pt.phase("y"):
+            time.sleep(0.002)
+        assert sum(pt.fractions().values()) == pytest.approx(1.0)
+
+    def test_empty_fractions(self):
+        assert PhaseTimer().fractions() == {}
+
+    def test_insertion_order_preserved(self):
+        pt = PhaseTimer()
+        for name in ("pre", "p1", "p2", "p3"):
+            pt.add(name, 0.1)
+        assert list(pt.phases) == ["pre", "p1", "p2", "p3"]
+
+
+class TestTCResult:
+    def test_counting_time(self):
+        r = TCResult("x", 10, elapsed=1.0, phases={"preprocess": 0.3, "count": 0.7})
+        assert r.preprocessing_time == pytest.approx(0.3)
+        assert r.counting_time == pytest.approx(0.7)
+
+    def test_no_preprocess_phase(self):
+        r = TCResult("x", 10, elapsed=0.5)
+        assert r.preprocessing_time == 0.0
+        assert r.counting_time == pytest.approx(0.5)
+
+    def test_rate(self):
+        r = TCResult("x", 10, elapsed=2.0)
+        assert r.rate_edges_per_second(100) == pytest.approx(50.0)
+
+    def test_rate_zero_time(self):
+        assert TCResult("x", 0, elapsed=0.0).rate_edges_per_second(5) == float("inf")
