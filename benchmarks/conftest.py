@@ -3,7 +3,11 @@
 Each benchmark regenerates one paper table/figure via
 :mod:`repro.eval.experiments`, times it with pytest-benchmark (one round
 — these are experiment harnesses, not micro-benchmarks), prints the
-rendered table, and saves it under ``benchmarks/results/``.
+rendered table, and saves it under ``benchmarks/results/``: the rendered
+text table as ``<id>.txt`` plus one structured JSON artifact ``<id>.json``
+combining the experiment rows with the observability report (span trees,
+counters, gauges, histograms) captured while the experiment ran — see
+``docs/observability.md`` for the schema.
 
 Set ``REPRO_BENCH_FAST=1`` to run every experiment on a reduced dataset
 suite (useful for smoke-testing the harness).
@@ -16,6 +20,8 @@ import pathlib
 
 import pytest
 
+from repro.obs import build_report, report_to_json, use_registry
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 FAST = os.environ.get("REPRO_BENCH_FAST", "") == "1"
@@ -23,11 +29,25 @@ FAST_SUITE = ("LJGrp", "Twtr10", "Frndstr", "SK")
 
 
 def run_experiment(benchmark, fn, *args, **kwargs):
-    """Benchmark one experiment function and persist its rendered output."""
-    result = benchmark.pedantic(lambda: fn(*args, **kwargs), rounds=1, iterations=1)
+    """Benchmark one experiment function and persist its outputs.
+
+    Writes the human-readable table (``.txt``) and the machine-readable
+    experiment + observability artifact (``.json``).
+    """
+    with use_registry() as registry:
+        result = benchmark.pedantic(
+            lambda: fn(*args, **kwargs), rounds=1, iterations=1
+        )
     RESULTS_DIR.mkdir(exist_ok=True)
     text = result.render()
     (RESULTS_DIR / f"{result.experiment_id}.txt").write_text(text + "\n")
+    obs_report = build_report(
+        registry, meta={"experiment_id": result.experiment_id, "fast": FAST}
+    )
+    payload = {"experiment": result.to_dict(), "observability": obs_report}
+    (RESULTS_DIR / f"{result.experiment_id}.json").write_text(
+        report_to_json(payload) + "\n"
+    )
     print("\n" + text)
     return result
 

@@ -5,6 +5,9 @@ Commands:
 * ``count``       — count triangles of a dataset or edge-list file with a
   chosen algorithm, printing the count, timing breakdown and (for LOTUS)
   the triangle-type decomposition;
+* ``report``      — run one algorithm under the observability registry and
+  emit a structured JSON/CSV artifact (span tree, counters, gauges,
+  histograms; see ``docs/observability.md``);
 * ``analyze``     — Table-1 style hub analytics of a graph;
 * ``datasets``    — list the synthetic stand-in registry;
 * ``experiment``  — regenerate one paper table/figure by ID;
@@ -19,6 +22,14 @@ import sys
 from repro.core import LotusConfig, count_triangles_lotus, hub_characteristics
 from repro.core.adaptive import count_triangles_adaptive
 from repro.graph import DATASETS, load_dataset, load_edgelist, load_npz
+from repro.obs import (
+    build_report,
+    render_span_tree,
+    report_to_csv,
+    report_to_json,
+    spans_from_report,
+    use_registry,
+)
 from repro.tc import (
     count_triangles_edge_iterator,
     count_triangles_forward,
@@ -75,6 +86,73 @@ def cmd_count(args: argparse.Namespace) -> int:
             f"(hub share {counts.hub_fraction():.1%})"
         )
     return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    algorithm = ALGORITHMS[args.algorithm]
+    with use_registry() as registry:
+        result = algorithm(graph, args.hub_count)
+        if args.memsim:
+            _replay_memsim(graph, registry, args)
+    meta = {
+        "dataset": args.dataset or args.file,
+        "algorithm": result.algorithm,
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "triangles": result.triangles,
+        "elapsed": result.elapsed,
+        "phases": dict(result.phases),
+    }
+    report = build_report(registry, meta=meta)
+    if args.format == "json":
+        text = report_to_json(report)
+    elif args.format == "csv":
+        text = report_to_csv(report)
+    else:  # tree
+        lines = [
+            f"{meta['algorithm']} on {meta['dataset']}: "
+            f"{meta['triangles']:,} triangles in {meta['elapsed']:.3f}s"
+        ]
+        lines += [render_span_tree(root) for root in spans_from_report(report)]
+        metrics = report["metrics"]
+        for name, value in metrics["counters"].items():
+            lines.append(f"counter   {name:<28} {value:,}")
+        for name, value in metrics["gauges"].items():
+            lines.append(f"gauge     {name:<28} {value:.4f}")
+        for name, snap in metrics["histograms"].items():
+            lines.append(
+                f"histogram {name:<28} count={snap['count']} "
+                f"sum={snap['sum']:.6g} max={snap['max']}"
+            )
+        text = "\n".join(lines)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.format} report to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _replay_memsim(graph, registry, args: argparse.Namespace) -> None:
+    """Replay the graph's lotus/forward traces so cache + DTLB hit rates
+    land in the same report artifact as the counting spans."""
+    from repro.core import build_lotus_graph
+    from repro.graph.reorder import apply_degree_ordering
+    from repro.memsim import MACHINES, MemoryHierarchy, forward_trace, lotus_trace
+
+    machine = MACHINES[args.machine].scaled(args.scale)
+    oriented = apply_degree_ordering(graph)[0].orient_lower()
+    lotus = build_lotus_graph(graph)
+    for alg, trace in (
+        ("forward", forward_trace(oriented)),
+        ("lotus", lotus_trace(lotus)),
+    ):
+        with registry.span(f"memsim:{alg}", machine=machine.name):
+            h = MemoryHierarchy(machine)
+            h.access_lines(trace)
+            h.export_metrics(registry, prefix=f"memsim.{alg}")
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
@@ -150,6 +228,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="lotus")
     p.add_argument("--hub-count", type=int, default=None)
     p.set_defaults(fn=cmd_count)
+
+    p = sub.add_parser(
+        "report", help="run one algorithm and emit a structured obs report"
+    )
+    _add_graph_args(p)
+    p.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="lotus")
+    p.add_argument("--hub-count", type=int, default=None)
+    p.add_argument("--format", choices=("json", "csv", "tree"), default="json")
+    p.add_argument("--output", help="write the artifact here instead of stdout")
+    p.add_argument("--memsim", action="store_true",
+                   help="also replay the cache hierarchy and export hit rates")
+    p.add_argument("--machine", choices=("SkyLakeX", "Haswell", "Epyc"),
+                   default="SkyLakeX")
+    p.add_argument("--scale", type=int, default=1024,
+                   help="cache capacity scale factor (DESIGN.md §1)")
+    p.set_defaults(fn=cmd_report)
 
     p = sub.add_parser("analyze", help="hub analytics (Table 1 style)")
     _add_graph_args(p)

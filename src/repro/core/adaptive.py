@@ -20,6 +20,7 @@ from repro.core.structure import LotusConfig, build_lotus_graph
 from repro.graph.build import from_edges
 from repro.graph.csr import CSRGraph
 from repro.graph.degree import is_skewed
+from repro.obs import root_span, timed_phase
 from repro.tc.forward import count_triangles_forward
 from repro.tc.result import TCResult
 from repro.util.timer import PhaseTimer
@@ -39,12 +40,16 @@ def count_triangles_adaptive(
     sampled median (Section 5.5); the chosen algorithm is recorded in the
     result's ``algorithm`` field.
     """
-    if is_skewed(graph, threshold=skew_threshold, seed=seed):
-        result = count_triangles_lotus(graph, config)
-        result.extra["dispatch"] = "lotus"
-        return result
-    result = count_triangles_forward(graph)
-    result.extra["dispatch"] = "forward-fallback"
+    with root_span("adaptive") as span:
+        skewed = is_skewed(graph, threshold=skew_threshold, seed=seed)
+        if skewed:
+            result = count_triangles_lotus(graph, config)
+            result.extra["dispatch"] = "lotus"
+        else:
+            result = count_triangles_forward(graph)
+            result.extra["dispatch"] = "forward-fallback"
+        span.set("dispatch", result.extra["dispatch"])
+        span.set("triangles", result.triangles)
     return result
 
 
@@ -83,28 +88,33 @@ def count_triangles_lotus_recursive(
     depth = 0
     levels: list[dict[str, int]] = []
     current = graph
-    while True:
-        lotus = build_lotus_graph(current, config, timer=timer)
-        with timer.phase(f"level{depth}:hhh+hhn"):
-            hhh, hhn = count_hhh_hhn(lotus)
-        with timer.phase(f"level{depth}:hnn"):
-            hnn = count_hnn(lotus)
-        total += hhh + hhn + hnn
-        levels.append({"hhh": hhh, "hhn": hhn, "hnn": hnn})
-        nhe_graph = _nhe_as_graph(lotus.nhe.indptr, lotus.nhe.indices, lotus.hub_count)
-        depth += 1
-        recurse = (
-            depth < max_depth
-            and nhe_graph.num_edges >= min_edges
-            and is_skewed(nhe_graph, threshold=skew_threshold)
-        )
-        if not recurse:
-            with timer.phase(f"level{depth}:nnn"):
-                rest = count_triangles_forward(nhe_graph, degree_order=False)
-            total += rest.triangles
-            levels.append({"nnn": rest.triangles})
-            break
-        current = nhe_graph
+    with root_span("lotus-recursive") as span:
+        while True:
+            lotus = build_lotus_graph(current, config, timer=timer)
+            with timed_phase(timer, f"level{depth}:hhh+hhn"):
+                hhh, hhn = count_hhh_hhn(lotus)
+            with timed_phase(timer, f"level{depth}:hnn"):
+                hnn = count_hnn(lotus)
+            total += hhh + hhn + hnn
+            levels.append({"hhh": hhh, "hhn": hhn, "hnn": hnn})
+            nhe_graph = _nhe_as_graph(
+                lotus.nhe.indptr, lotus.nhe.indices, lotus.hub_count
+            )
+            depth += 1
+            recurse = (
+                depth < max_depth
+                and nhe_graph.num_edges >= min_edges
+                and is_skewed(nhe_graph, threshold=skew_threshold)
+            )
+            if not recurse:
+                with timed_phase(timer, f"level{depth}:nnn"):
+                    rest = count_triangles_forward(nhe_graph, degree_order=False)
+                total += rest.triangles
+                levels.append({"nnn": rest.triangles})
+                break
+            current = nhe_graph
+        span.set("depth", depth)
+        span.set("triangles", total)
     return TCResult(
         algorithm=f"lotus-recursive(depth={depth})",
         triangles=total,

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.core.structure import LotusConfig, LotusGraph, build_lotus_graph
 from repro.graph.csr import CSRGraph
+from repro.obs import root_span, timed_phase
 from repro.tc.intersect import batch_intersect_counts, batch_pairwise_counts
 from repro.tc.result import TCResult
 from repro.util.arrays import concat_ranges
@@ -217,12 +218,26 @@ def lotus_count_from_structure(
 ) -> LotusCounts:
     """Run the three counting phases on a prebuilt structure."""
     timer = timer or PhaseTimer()
-    with timer.phase("hhh+hhn"):
+    with timed_phase(timer, "hhh+hhn") as span:
         hhh, hhn = count_hhh_hhn(lotus)
-    with timer.phase("hnn"):
+        if span.enabled:
+            deg = lotus.he.degrees()
+            span.set("pairs_tested", int((deg * (deg - 1) // 2).sum()))
+            span.set("bytes_touched", int(lotus.h2h.nbytes + lotus.he.indices.nbytes))
+            span.set("hhh", hhh)
+            span.set("hhn", hhn)
+    with timed_phase(timer, "hnn") as span:
         hnn = count_hnn(lotus)
-    with timer.phase("nnn"):
+        if span.enabled:
+            span.set("wedges_probed", int(lotus.nhe.num_edges))
+            span.set("bytes_touched", int(lotus.he.indices.nbytes + lotus.nhe.indices.nbytes))
+            span.set("hnn", hnn)
+    with timed_phase(timer, "nnn") as span:
         nnn = count_nnn(lotus)
+        if span.enabled:
+            span.set("wedges_probed", int(lotus.nhe.num_edges))
+            span.set("bytes_touched", int(lotus.nhe.indices.nbytes))
+            span.set("nnn", nnn)
     return LotusCounts(hhh=hhh, hhn=hhn, hnn=hnn, nnn=nnn)
 
 
@@ -236,8 +251,13 @@ def count_triangles_lotus(
     plus the HE/NHE edge split (Figure 8) in ``extra``.
     """
     timer = PhaseTimer()
-    lotus = build_lotus_graph(graph, config, timer=timer)
-    counts = lotus_count_from_structure(lotus, timer=timer)
+    with root_span(
+        "lotus", num_vertices=graph.num_vertices, num_edges=graph.num_edges
+    ) as span:
+        lotus = build_lotus_graph(graph, config, timer=timer)
+        counts = lotus_count_from_structure(lotus, timer=timer)
+        span.set("triangles", counts.total)
+        span.set("hub_count", lotus.hub_count)
     return TCResult(
         algorithm="lotus",
         triangles=counts.total,

@@ -25,6 +25,7 @@ import numpy as np
 from repro.core.bitarray import TriangularBitArray
 from repro.graph.csr import CSRGraph, OrientedGraph
 from repro.graph.reorder import lotus_relabeling_array
+from repro.obs import timed_phase
 from repro.util.timer import PhaseTimer
 
 __all__ = ["LotusConfig", "LotusGraph", "build_lotus_graph"]
@@ -148,7 +149,7 @@ def build_lotus_graph(
     n = graph.num_vertices
     hub_count = config.resolve_hub_count(n)
 
-    with timer.phase("preprocess"):
+    with timed_phase(timer, "preprocess") as span:
         ra = lotus_relabeling_array(graph, config.head_fraction)
         # relabel every stored arc and orient: keep u_new < v_new
         old_src = np.repeat(np.arange(n, dtype=np.int64), graph.degrees())
@@ -177,6 +178,21 @@ def build_lotus_graph(
         hub_hub = he_src < hub_count
         if hub_hub.any():
             h2h.set_pairs(he_src[hub_hub], he_dst[hub_hub])
+
+        if span.enabled:
+            span.set("arcs_relabeled", int(old_src.size))
+            span.set("hub_count", hub_count)
+            span.set("he_edges", int(he_dst.size))
+            span.set("nhe_edges", int(nhe_dst.size))
+            span.set("h2h_edges", int(np.count_nonzero(hub_hub)))
+            span.set(
+                "bytes_built",
+                int(
+                    h2h.nbytes
+                    + he.indices.nbytes + he.indptr.nbytes
+                    + nhe.indices.nbytes + nhe.indptr.nbytes
+                ),
+            )
 
     return LotusGraph(
         hub_count=hub_count,

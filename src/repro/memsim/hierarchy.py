@@ -16,6 +16,7 @@ import numpy as np
 from repro.memsim.cache import SetAssociativeCache, compress_consecutive
 from repro.memsim.machines import MachineSpec
 from repro.memsim.tlb import TLB
+from repro.obs import MetricsRegistry, get_registry
 
 __all__ = ["HierarchyStats", "MemoryHierarchy"]
 
@@ -98,3 +99,24 @@ class MemoryHierarchy:
             dtlb_accesses=self.tlb.stats.accesses,
             dtlb_misses=self.tlb.stats.misses,
         )
+
+    def export_metrics(
+        self, registry: MetricsRegistry | None = None, prefix: str = "memsim"
+    ) -> None:
+        """Publish hit rates and access/miss totals into a metrics registry.
+
+        Uses the active observability registry by default, so a simulate
+        run inside ``use_registry()`` lands in the same report artifact
+        as the counting spans.  Gauges carry the per-level hit rates,
+        counters the raw access/miss totals.
+        """
+        registry = registry if registry is not None else get_registry()
+        for label, stats in (
+            ("l1", self.l1.stats),
+            ("l2", self.l2.stats),
+            ("l3", self.l3.stats),
+            ("dtlb", self.tlb.stats),
+        ):
+            registry.gauge(f"{prefix}.{label}.hit_rate").set(stats.hit_rate)
+            registry.counter(f"{prefix}.{label}.accesses").add(stats.accesses)
+            registry.counter(f"{prefix}.{label}.misses").add(stats.misses)

@@ -1,0 +1,81 @@
+"""``repro.obs`` — pipeline-wide observability.
+
+A uniform way to ask "where did the time / ops / bytes go?" across the
+whole reproduction: :class:`MetricsRegistry` collects counters, gauges
+and histograms; a nesting ``span()`` tracer records the per-phase
+breakdown (preprocess -> phase1/2/3 -> reduce) the paper's evaluation is
+built on; :mod:`repro.obs.report` turns one run into a machine-readable
+JSON/CSV artifact (``python -m repro report ...``).
+
+Disabled by default: the active registry is a shared no-op object, so
+the hooks threaded through ``repro.tc`` / ``repro.core`` /
+``repro.parallel`` / ``repro.memsim`` cost nothing measurable.  Enable
+per run:
+
+```python
+from repro.obs import use_registry, build_report
+
+with use_registry() as reg:
+    result = count_triangles_lotus(graph)
+report = build_report(reg, meta={"algorithm": result.algorithm})
+```
+"""
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    NULL_REGISTRY,
+    enabled,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.obs.spans import NULL_SPAN, Span
+from repro.obs.report import (
+    SCHEMA_VERSION,
+    build_report,
+    render_span_tree,
+    report_from_json,
+    report_to_csv,
+    report_to_json,
+    spans_from_report,
+    write_report,
+)
+from repro.obs.instrument import (
+    add_count,
+    observe,
+    root_span,
+    set_gauge,
+    timed_phase,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "enabled",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "Span",
+    "NULL_SPAN",
+    "SCHEMA_VERSION",
+    "build_report",
+    "render_span_tree",
+    "report_from_json",
+    "report_to_csv",
+    "report_to_json",
+    "spans_from_report",
+    "write_report",
+    "add_count",
+    "observe",
+    "root_span",
+    "set_gauge",
+    "timed_phase",
+]

@@ -1,0 +1,378 @@
+"""The metrics registry: counters, gauges, histograms, and span roots.
+
+One :class:`MetricsRegistry` collects everything a pipeline run records:
+
+* **counters** — monotonically increasing totals (pairs probed, bytes
+  gathered, tiles executed);
+* **gauges** — last-written values (cache hit rates, hub fraction);
+* **histograms** — bucketed distributions (tile work, queue wait);
+* **spans** — the nested phase trace (:mod:`repro.obs.spans`).
+
+A module-level *active registry* mediates all instrumentation.  By
+default it is :data:`NULL_REGISTRY`, whose operations are no-ops and
+whose spans are a shared null object — the hooks threaded through the
+hot paths then cost one attribute lookup and a no-op call, keeping the
+NumPy kernels at full throughput.  Tests and the CLI switch a real
+registry in with :func:`use_registry` / :func:`set_registry`.
+
+All mutation is thread-safe: counters take a per-metric lock, the
+registry takes a lock for structural changes, and the span stack is
+thread-local (worker threads attach spans to an explicit parent handed
+over by the dispatching thread).
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.obs.spans import (
+    NULL_SPAN,
+    NULL_SPAN_CONTEXT,
+    NullSpanContext,
+    Span,
+    SpanContext,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "enabled",
+]
+
+
+class Counter:
+    """Monotonic counter.  ``add`` is thread-safe."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value: int | float = 0
+        self._lock = threading.Lock()
+
+    def add(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a gauge instead")
+        with self._lock:
+            self._value += amount
+
+    def inc(self) -> None:
+        self.add(1)
+
+    @property
+    def value(self) -> int | float:
+        return self._value
+
+    def snapshot(self) -> int | float:
+        return self._value
+
+
+class Gauge:
+    """Last-value-wins metric (hit rates, sizes, fractions)."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> float:
+        return self._value
+
+
+# default buckets: powers of two up to 2^30 — op counts and byte volumes
+# span many orders of magnitude, and exact quantiles are not needed
+_DEFAULT_BUCKETS = tuple(float(1 << i) for i in range(0, 31, 2))
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max.
+
+    ``buckets`` are upper bounds of each bucket; observations above the
+    last bound land in the overflow bucket.  ``observe`` is thread-safe.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "sum", "min", "max", "_lock")
+
+    def __init__(self, name: str, buckets: tuple[float, ...] | None = None) -> None:
+        self.name = name
+        bounds = tuple(sorted(buckets)) if buckets is not None else _DEFAULT_BUCKETS
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum: float = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: int | float) -> None:
+        idx = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self.counts[idx] += 1
+            self.count += 1
+            self.sum += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: upper bound of the bucket holding rank q."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for idx, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank and c:
+                if idx < len(self.buckets):
+                    return self.buckets[idx]
+                return float(self.max if self.max is not None else self.buckets[-1])
+        return float(self.max if self.max is not None else self.buckets[-1])
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Holds every metric and span tree of one observed run."""
+
+    enabled = True
+
+    def __init__(self, name: str = "default") -> None:
+        self.name = name
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._roots: list[Span] = []
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+
+    # -- metric factories (get-or-create) ---------------------------------
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(self._counters, name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(self._gauges, name, Gauge)
+
+    def histogram(self, name: str, buckets: tuple[float, ...] | None = None) -> Histogram:
+        with self._lock:
+            self._check_name_free(name, skip=self._histograms)
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = Histogram(name, buckets)
+                self._histograms[name] = hist
+            return hist
+
+    def _get_or_create(self, table: dict[str, Any], name: str, cls: type) -> Any:
+        metric = table.get(name)
+        if metric is not None:
+            return metric
+        with self._lock:
+            self._check_name_free(name, skip=table)
+            metric = table.get(name)
+            if metric is None:
+                metric = cls(name)
+                table[name] = metric
+            return metric
+
+    def _check_name_free(self, name: str, skip: dict[str, Any]) -> None:
+        for table in (self._counters, self._gauges, self._histograms):
+            if table is not skip and name in table:
+                raise ValueError(
+                    f"metric {name!r} already registered as a different kind"
+                )
+
+    # -- spans -------------------------------------------------------------
+    def span(
+        self, name: str, parent: Span | None = None, **attrs: Any
+    ) -> SpanContext:
+        """Open a traced region; use as ``with registry.span("x") as sp:``.
+
+        ``parent`` overrides thread-local nesting — pass the dispatching
+        thread's span when the body runs on a worker thread.
+        """
+        return SpanContext(self, name, parent=parent, attrs=attrs or None)
+
+    def current_span(self) -> Span | None:
+        stack = getattr(self._tls, "stack", None)
+        return stack[-1] if stack else None
+
+    def _push_span(self, span: Span) -> None:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        stack.append(span)
+
+    def _pop_span(self, span: Span) -> None:
+        stack = getattr(self._tls, "stack", None)
+        if stack and stack[-1] is span:
+            stack.pop()
+
+    def _attach_span(self, span: Span, parent: Span | None) -> None:
+        if parent is not None and parent is not NULL_SPAN:
+            with self._lock:
+                parent.children.append(span)
+        else:
+            with self._lock:
+                self._roots.append(span)
+
+    @property
+    def roots(self) -> list[Span]:
+        """Completed top-level spans, in completion order."""
+        return list(self._roots)
+
+    def find_span(self, name: str) -> Span | None:
+        for root in self.roots:
+            found = root.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def iter_spans(self) -> Iterator[Span]:
+        for root in self.roots:
+            yield from root.iter_spans()
+
+    # -- lifecycle / export ------------------------------------------------
+    def clear(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self._roots.clear()
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-data view of all metrics (no spans; see report.build_report)."""
+        with self._lock:
+            return {
+                "counters": {n: c.snapshot() for n, c in sorted(self._counters.items())},
+                "gauges": {n: g.snapshot() for n, g in sorted(self._gauges.items())},
+                "histograms": {
+                    n: h.snapshot() for n, h in sorted(self._histograms.items())
+                },
+            }
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def add(self, amount: int | float = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: int | float) -> None:
+        pass
+
+
+class NullRegistry(MetricsRegistry):
+    """Disabled-mode registry: every operation is a cheap no-op.
+
+    Metric factories hand back shared null instances and ``span`` returns
+    a shared no-op context, so instrumented code needs no ``if enabled``
+    guards for correctness — only for skipping *expensive attribute
+    computation* (via ``span.enabled``).
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(name="null")
+        self._null_counter = _NullCounter("null")
+        self._null_gauge = _NullGauge("null")
+        self._null_histogram = _NullHistogram("null")
+
+    def counter(self, name: str) -> Counter:
+        return self._null_counter
+
+    def gauge(self, name: str) -> Gauge:
+        return self._null_gauge
+
+    def histogram(self, name: str, buckets: tuple[float, ...] | None = None) -> Histogram:
+        return self._null_histogram
+
+    def span(
+        self, name: str, parent: Span | None = None, **attrs: Any
+    ) -> NullSpanContext:  # type: ignore[override]
+        return NULL_SPAN_CONTEXT
+
+    def current_span(self) -> Span | None:
+        return None
+
+
+NULL_REGISTRY = NullRegistry()
+
+_active: MetricsRegistry = NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry:
+    """The active registry (the shared null registry when disabled)."""
+    return _active
+
+
+def set_registry(registry: MetricsRegistry | None) -> MetricsRegistry:
+    """Install ``registry`` as the active one (``None`` disables); returns it."""
+    global _active
+    _active = registry if registry is not None else NULL_REGISTRY
+    return _active
+
+
+def enabled() -> bool:
+    return _active.enabled
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry | None = None) -> Iterator[MetricsRegistry]:
+    """Temporarily activate ``registry`` (a fresh one when omitted).
+
+    ``with use_registry() as reg: ... reg.snapshot()`` is the idiomatic
+    way to observe one pipeline run.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    previous = get_registry()
+    set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

@@ -1,0 +1,172 @@
+"""Phase/span tracing: a nested tree of timed code regions.
+
+A :class:`Span` is one timed region (``preprocess``, ``hhh+hhn``, one
+parallel tile, ...) carrying wall time plus arbitrary numeric/text
+attributes (op counts, bytes touched, triangle totals).  Spans nest:
+entering a span while another is open on the same thread attaches it as
+a child, which is how the end-to-end LOTUS run produces the
+``lotus -> preprocess / hhh+hhn / hnn / nnn`` tree that mirrors the
+paper's Figure 6 breakdown.
+
+Spans are created through :meth:`repro.obs.registry.MetricsRegistry.span`;
+this module only defines the data model and the context manager.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterator
+
+__all__ = ["Span", "SpanContext", "NULL_SPAN"]
+
+
+class Span:
+    """One timed region of the pipeline with attributes and children.
+
+    ``attrs`` holds op counts / bytes / labels; ``elapsed`` is wall
+    seconds (filled when the owning context exits).  ``enabled`` lets
+    instrumentation skip computing expensive attributes when tracing is
+    off (the null span reports ``False``).
+    """
+
+    __slots__ = ("name", "elapsed", "attrs", "children")
+
+    enabled = True
+
+    def __init__(self, name: str, attrs: dict[str, Any] | None = None) -> None:
+        self.name = name
+        self.elapsed: float = 0.0
+        self.attrs: dict[str, Any] = dict(attrs) if attrs else {}
+        self.children: list["Span"] = []
+
+    # -- attribute recording ----------------------------------------------
+    def set(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    def add(self, key: str, amount: int | float = 1) -> None:
+        """Accumulate a numeric attribute (creates it at 0)."""
+        self.attrs[key] = self.attrs.get(key, 0) + amount
+
+    # -- tree queries ------------------------------------------------------
+    def iter_spans(self) -> Iterator["Span"]:
+        """Yield this span and every descendant, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.iter_spans()
+
+    def find(self, name: str) -> "Span | None":
+        """First span named ``name`` in pre-order, or ``None``."""
+        for span in self.iter_spans():
+            if span.name == name:
+                return span
+        return None
+
+    def find_all(self, name: str) -> list["Span"]:
+        return [s for s in self.iter_spans() if s.name == name]
+
+    def total_attr(self, key: str) -> int | float:
+        """Sum of a numeric attribute over this span and all descendants."""
+        return sum(
+            s.attrs[key]
+            for s in self.iter_spans()
+            if isinstance(s.attrs.get(key), (int, float))
+        )
+
+    def self_time(self) -> float:
+        """Elapsed time not covered by direct children (>= 0 up to jitter)."""
+        return self.elapsed - sum(c.elapsed for c in self.children)
+
+    # -- (de)serialisation -------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"name": self.name, "elapsed": self.elapsed}
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Span":
+        span = cls(data["name"], data.get("attrs"))
+        span.elapsed = float(data.get("elapsed", 0.0))
+        span.children = [cls.from_dict(c) for c in data.get("children", [])]
+        return span
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, elapsed={self.elapsed:.6f}, "
+            f"children={len(self.children)})"
+        )
+
+
+class _NullSpan(Span):
+    """Shared do-nothing span returned while observability is disabled.
+
+    Mutators are overridden to no-ops so a single instance can be handed
+    to every ``with ... as span`` site without accumulating state.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__("null")
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+    def add(self, key: str, amount: int | float = 1) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class SpanContext:
+    """Context manager that opens a :class:`Span` inside a registry.
+
+    The parent is the span currently open on this thread (or an explicit
+    ``parent`` handed across threads, as the parallel executor does); on
+    exit the finished span is attached to the parent's children, or to
+    the registry's roots when there is no parent.
+    """
+
+    __slots__ = ("_registry", "_span", "_parent", "_start")
+
+    def __init__(
+        self,
+        registry: "Any",
+        name: str,
+        parent: Span | None = None,
+        attrs: dict[str, Any] | None = None,
+    ) -> None:
+        self._registry = registry
+        self._span = Span(name, attrs)
+        self._parent = parent
+        self._start = 0.0
+
+    def __enter__(self) -> Span:
+        if self._parent is None:
+            self._parent = self._registry.current_span()
+        self._registry._push_span(self._span)
+        self._start = time.perf_counter()
+        return self._span
+
+    def __exit__(self, *exc: object) -> None:
+        self._span.elapsed = time.perf_counter() - self._start
+        self._registry._pop_span(self._span)
+        self._registry._attach_span(self._span, self._parent)
+
+
+class NullSpanContext:
+    """No-op stand-in for :class:`SpanContext` (disabled mode)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> Span:
+        return NULL_SPAN
+
+    def __exit__(self, *exc: object) -> None:
+        pass
+
+
+NULL_SPAN_CONTEXT = NullSpanContext()

@@ -9,6 +9,7 @@ counting is a pure reduction.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
@@ -16,6 +17,7 @@ import numpy as np
 from repro.core.count import _batched_pair_count
 from repro.core.structure import LotusGraph
 from repro.core.tiling import Tile, tiles_for_phase1
+from repro.obs import get_registry
 from repro.util.arrays import concat_ranges
 
 __all__ = ["count_hhh_hhn_parallel", "run_phase1_tile"]
@@ -36,6 +38,20 @@ def run_phase1_tile(lotus: LotusGraph, tile: Tile) -> int:
     return int(np.count_nonzero(lotus.h2h.test_pairs(h1, h2)))
 
 
+def _run_traced_tile(lotus: LotusGraph, tile: Tile, parent) -> int:
+    """One tile under a span (only called while observability is enabled)."""
+    registry = get_registry()
+    with registry.span("tile", parent=parent) as span:
+        hits = run_phase1_tile(lotus, tile)
+        span.set("vertex", tile.vertex)
+        span.set("start", tile.start)
+        span.set("stop", tile.stop)
+        span.set("pair_work", tile.work)
+        span.set("hits", hits)
+    registry.histogram("parallel.tile_work").observe(tile.work)
+    return hits
+
+
 def count_hhh_hhn_parallel(
     lotus: LotusGraph,
     threads: int = 4,
@@ -49,35 +65,81 @@ def count_hhh_hhn_parallel(
     """
     if threads < 1:
         raise ValueError("threads must be >= 1")
-    tiles = tiles_for_phase1(
-        lotus.he, partitions=2 * threads, policy=policy, degree_threshold=degree_threshold
-    )
-    if not tiles:
-        return 0
-    if threads == 1:
-        return sum(run_phase1_tile(lotus, t) for t in tiles)
-    # deal tiles into a few batches per worker (round-robin keeps the
-    # per-batch work balanced since tiles are already work-equalised);
-    # one Python task per batch keeps dispatch overhead negligible
-    num_batches = threads * 4
-    batches: list[list[Tile]] = [[] for _ in range(num_batches)]
-    for i, tile in enumerate(tiles):
-        batches[i % num_batches].append(tile)
-
-    he_deg = lotus.he.degrees()
-
-    def is_whole_row(t: Tile) -> bool:
-        return t.start == 0 and t.stop == int(he_deg[t.vertex])
-
-    def run_batch(batch: list[Tile]) -> int:
-        # whole-row tiles go through the cross-vertex vectorised kernel
-        # (one NumPy pass per batch); split tiles run individually
-        whole_rows = np.array(
-            [t.vertex for t in batch if is_whole_row(t)], dtype=np.int64
+    registry = get_registry()
+    with registry.span(
+        "phase1-parallel", threads=threads, policy=policy
+    ) as phase_span:
+        tiles = tiles_for_phase1(
+            lotus.he,
+            partitions=2 * threads,
+            policy=policy,
+            degree_threshold=degree_threshold,
         )
-        total = _batched_pair_count(lotus, whole_rows) if whole_rows.size else 0
-        total += sum(run_phase1_tile(lotus, t) for t in batch if not is_whole_row(t))
+        phase_span.set("tiles", len(tiles))
+        if not tiles:
+            phase_span.set("hits", 0)
+            return 0
+        registry.counter("parallel.tiles").add(len(tiles))
+        if threads == 1:
+            if registry.enabled:
+                total = sum(_run_traced_tile(lotus, t, phase_span) for t in tiles)
+            else:
+                total = sum(run_phase1_tile(lotus, t) for t in tiles)
+            phase_span.set("hits", total)
+            return total
+        # deal tiles into a few batches per worker (round-robin keeps the
+        # per-batch work balanced since tiles are already work-equalised);
+        # one Python task per batch keeps dispatch overhead negligible
+        num_batches = threads * 4
+        batches: list[list[Tile]] = [[] for _ in range(num_batches)]
+        for i, tile in enumerate(tiles):
+            batches[i % num_batches].append(tile)
+        registry.counter("parallel.batches").add(num_batches)
+
+        he_deg = lotus.he.degrees()
+
+        def is_whole_row(t: Tile) -> bool:
+            return t.start == 0 and t.stop == int(he_deg[t.vertex])
+
+        def run_batch(batch: list[Tile]) -> int:
+            # whole-row tiles go through the cross-vertex vectorised kernel
+            # (one NumPy pass per batch); split tiles run individually
+            whole_rows = np.array(
+                [t.vertex for t in batch if is_whole_row(t)], dtype=np.int64
+            )
+            total = _batched_pair_count(lotus, whole_rows) if whole_rows.size else 0
+            total += sum(
+                run_phase1_tile(lotus, t) for t in batch if not is_whole_row(t)
+            )
+            return total
+
+        def run_batch_traced(batch: list[Tile], submitted: float) -> int:
+            # spans cross the thread boundary: the phase span is handed over
+            # as the explicit parent (worker threads have no span stack)
+            started = time.perf_counter()
+            with registry.span("batch", parent=phase_span) as span:
+                total = sum(_run_traced_tile(lotus, t, span) for t in batch)
+                span.set("tiles", len(batch))
+                span.set("queue_wait_s", started - submitted)
+                span.set("hits", total)
+            registry.histogram("parallel.queue_wait_s", _WAIT_BUCKETS).observe(
+                started - submitted
+            )
+            return total
+
+        with ThreadPoolExecutor(max_workers=threads) as pool:
+            if registry.enabled:
+                submitted = time.perf_counter()
+                futures = [
+                    pool.submit(run_batch_traced, batch, submitted)
+                    for batch in batches
+                ]
+                total = sum(f.result() for f in futures)
+            else:
+                total = sum(pool.map(run_batch, batches))
+        phase_span.set("hits", total)
         return total
 
-    with ThreadPoolExecutor(max_workers=threads) as pool:
-        return sum(pool.map(run_batch, batches))
+
+# sub-millisecond to ~1 s: thread-pool queue waits on tile batches
+_WAIT_BUCKETS = tuple(1e-6 * (4 ** i) for i in range(11))

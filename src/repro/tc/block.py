@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.graph.csr import CSRGraph
 from repro.graph.reorder import apply_degree_ordering
+from repro.obs import root_span, timed_phase
 from repro.tc.result import TCResult
 from repro.util.arrays import concat_ranges, segment_sums
 from repro.util.timer import PhaseTimer
@@ -42,42 +43,50 @@ def count_triangles_block(
     if num_blocks < 1:
         raise ValueError("num_blocks must be >= 1")
     timer = PhaseTimer()
-    with timer.phase("preprocess"):
-        work = apply_degree_ordering(graph)[0] if degree_order else graph
-        oriented = work.orient_lower()
-        n = oriented.num_vertices
-        bounds = _block_boundaries(n, num_blocks)
-    with timer.phase("count"):
-        indptr, indices = oriented.indptr, oriented.indices
-        total = 0
-        for v in range(n):
-            row = indices[indptr[v] : indptr[v + 1]].astype(np.int64, copy=False)
-            if row.size < 2:
-                continue
-            # split v's neighbour list at block boundaries once
-            cuts = np.searchsorted(row, bounds)
-            for bj in range(num_blocks):
-                us = row[cuts[bj] : cuts[bj + 1]]
-                if us.size == 0:
+    with root_span(
+        f"block-{num_blocks}",
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+    ) as rspan:
+        with timed_phase(timer, "preprocess") as span:
+            work = apply_degree_ordering(graph)[0] if degree_order else graph
+            oriented = work.orient_lower()
+            n = oriented.num_vertices
+            bounds = _block_boundaries(n, num_blocks)
+            span.set("oriented_arcs", oriented.num_edges)
+            span.set("num_blocks", num_blocks)
+        with timed_phase(timer, "count") as span:
+            indptr, indices = oriented.indptr, oriented.indices
+            total = 0
+            for v in range(n):
+                row = indices[indptr[v] : indptr[v + 1]].astype(np.int64, copy=False)
+                if row.size < 2:
                     continue
-                for bk in range(bj + 1):
-                    wlo, whi = bounds[bk], bounds[bk + 1]
-                    # targets w of v restricted to block bk
-                    q = row[np.searchsorted(row, wlo) : np.searchsorted(row, whi)]
-                    if q.size == 0:
+                # split v's neighbour list at block boundaries once
+                cuts = np.searchsorted(row, bounds)
+                for bj in range(num_blocks):
+                    us = row[cuts[bj] : cuts[bj + 1]]
+                    if us.size == 0:
                         continue
-                    # neighbours of each u restricted to [wlo, whi)
-                    u_start = indptr[us]
-                    u_end = indptr[us + 1]
-                    # range restriction via per-row binary search
-                    lo = u_start + _rows_searchsorted(indices, u_start, u_end, wlo)
-                    hi = u_start + _rows_searchsorted(indices, u_start, u_end, whi)
-                    lens = hi - lo
-                    gathered = indices[concat_ranges(lo, lens)]
-                    pos = np.searchsorted(q, gathered)
-                    np.minimum(pos, q.size - 1, out=pos)
-                    hits = (q[pos] == gathered).astype(np.int64)
-                    total += int(segment_sums(hits, lens).sum())
+                    for bk in range(bj + 1):
+                        wlo, whi = bounds[bk], bounds[bk + 1]
+                        # targets w of v restricted to block bk
+                        q = row[np.searchsorted(row, wlo) : np.searchsorted(row, whi)]
+                        if q.size == 0:
+                            continue
+                        # neighbours of each u restricted to [wlo, whi)
+                        u_start = indptr[us]
+                        u_end = indptr[us + 1]
+                        # range restriction via per-row binary search
+                        lo = u_start + _rows_searchsorted(indices, u_start, u_end, wlo)
+                        hi = u_start + _rows_searchsorted(indices, u_start, u_end, whi)
+                        lens = hi - lo
+                        gathered = indices[concat_ranges(lo, lens)]
+                        pos = np.searchsorted(q, gathered)
+                        np.minimum(pos, q.size - 1, out=pos)
+                        hits = (q[pos] == gathered).astype(np.int64)
+                        total += int(segment_sums(hits, lens).sum())
+        rspan.set("triangles", total)
     return TCResult(
         algorithm=f"block-{num_blocks}",
         triangles=total,

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.graph.csr import CSRGraph, OrientedGraph
 from repro.graph.reorder import apply_degree_ordering
+from repro.obs import root_span, timed_phase
 from repro.tc.intersect import batch_intersect_counts, batch_pairwise_counts
 from repro.tc.result import TCResult
 from repro.util.timer import PhaseTimer
@@ -51,11 +52,25 @@ def count_triangles_forward(
     is the right choice for graphs with very few huge hubs (Section 5.5).
     """
     timer = PhaseTimer()
-    with timer.phase("preprocess"):
-        work = apply_degree_ordering(graph)[0] if degree_order else graph
-        oriented = work.orient_lower()
-    with timer.phase("count"):
-        triangles = forward_count_oriented(oriented, fused=fused)
+    with root_span(
+        "forward" if degree_order else "forward-natural",
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+    ) as rspan:
+        with timed_phase(timer, "preprocess") as span:
+            work = apply_degree_ordering(graph)[0] if degree_order else graph
+            oriented = work.orient_lower()
+            span.set("oriented_arcs", oriented.num_edges)
+        with timed_phase(timer, "count") as span:
+            triangles = forward_count_oriented(oriented, fused=fused)
+            if span.enabled:
+                span.set("arcs_iterated", oriented.num_edges)
+                deg = oriented.degrees()
+                span.set(
+                    "gather_volume",
+                    int(deg[oriented.indices.astype(np.int64, copy=False)].sum()),
+                )
+        rspan.set("triangles", triangles)
     return TCResult(
         algorithm="forward" if degree_order else "forward-natural",
         triangles=triangles,

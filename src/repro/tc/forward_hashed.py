@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.graph.csr import CSRGraph
 from repro.graph.reorder import apply_degree_ordering
+from repro.obs import root_span, timed_phase
 from repro.tc.result import TCResult
 from repro.util.arrays import concat_ranges
 from repro.util.timer import PhaseTimer
@@ -30,24 +31,34 @@ def count_triangles_forward_hashed(graph: CSRGraph, degree_order: bool = True) -
     locality study, the same *random access pattern* as a hash table.
     """
     timer = PhaseTimer()
-    with timer.phase("preprocess"):
-        work = apply_degree_ordering(graph)[0] if degree_order else graph
-        oriented = work.orient_lower()
-    with timer.phase("count"):
-        indptr, indices = oriented.indptr, oriented.indices
-        n = oriented.num_vertices
-        member = np.zeros(n, dtype=bool)
-        total = 0
-        for v in range(n):
-            row = indices[indptr[v] : indptr[v + 1]]
-            if row.size < 2:
-                continue
-            member[row] = True
-            starts = indptr[row.astype(np.int64)]
-            lens = indptr[row.astype(np.int64) + 1] - starts
-            gathered = indices[concat_ranges(starts, lens)]
-            total += int(np.count_nonzero(member[gathered]))
-            member[row] = False
+    with root_span(
+        "forward-hashed",
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+    ) as rspan:
+        with timed_phase(timer, "preprocess") as span:
+            work = apply_degree_ordering(graph)[0] if degree_order else graph
+            oriented = work.orient_lower()
+            span.set("oriented_arcs", oriented.num_edges)
+        with timed_phase(timer, "count") as span:
+            indptr, indices = oriented.indptr, oriented.indices
+            n = oriented.num_vertices
+            member = np.zeros(n, dtype=bool)
+            total = 0
+            probes = 0
+            for v in range(n):
+                row = indices[indptr[v] : indptr[v + 1]]
+                if row.size < 2:
+                    continue
+                member[row] = True
+                starts = indptr[row.astype(np.int64)]
+                lens = indptr[row.astype(np.int64) + 1] - starts
+                gathered = indices[concat_ranges(starts, lens)]
+                probes += gathered.size
+                total += int(np.count_nonzero(member[gathered]))
+                member[row] = False
+            span.set("hash_probes", probes)
+        rspan.set("triangles", total)
     return TCResult(
         algorithm="forward-hashed",
         triangles=total,

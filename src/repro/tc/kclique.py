@@ -22,6 +22,7 @@ import numpy as np
 from repro.graph.csr import CSRGraph
 from repro.graph.degree import hub_mask_top_k
 from repro.graph.reorder import apply_degree_ordering
+from repro.obs import root_span
 
 __all__ = ["count_kcliques", "count_kcliques_hub"]
 
@@ -79,17 +80,20 @@ def count_kcliques(graph: CSRGraph, k: int, degree_order: bool = True) -> int:
         raise ValueError("k must be >= 1")
     if k == 1:
         return graph.num_vertices
-    work = apply_degree_ordering(graph)[0] if degree_order else graph
-    oriented = work.orient_lower()
-    indptr = oriented.indptr
-    indices = oriented.indices.astype(np.int64, copy=False)
-    if k == 2:
-        return oriented.num_edges
-    total = 0
-    for v in range(oriented.num_vertices):
-        row = indices[indptr[v] : indptr[v + 1]]
-        if row.size >= k - 1:
-            total += _kclique_recursive(indptr, indices, row, k - 1)
+    with root_span("kclique", k=k, num_vertices=graph.num_vertices) as span:
+        work = apply_degree_ordering(graph)[0] if degree_order else graph
+        oriented = work.orient_lower()
+        indptr = oriented.indptr
+        indices = oriented.indices.astype(np.int64, copy=False)
+        if k == 2:
+            span.set("cliques", oriented.num_edges)
+            return oriented.num_edges
+        total = 0
+        for v in range(oriented.num_vertices):
+            row = indices[indptr[v] : indptr[v + 1]]
+            if row.size >= k - 1:
+                total += _kclique_recursive(indptr, indices, row, k - 1)
+        span.set("cliques", total)
     return total
 
 

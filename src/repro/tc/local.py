@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.graph.csr import CSRGraph
 from repro.graph.reorder import apply_degree_ordering
+from repro.obs import root_span
 from repro.util.arrays import concat_ranges, group_ids
 
 __all__ = [
@@ -81,18 +82,20 @@ def local_triangle_counts(graph: CSRGraph, degree_order: bool = True) -> np.ndar
     result is mapped back to the original vertex IDs.
     """
     n = graph.num_vertices
-    if degree_order and n:
-        work, ra = apply_degree_ordering(graph)
-    else:
-        work, ra = graph, None
-    v, u, w = _matched_triangles(work.orient_lower())
-    counts = (
-        np.bincount(v, minlength=n)
-        + np.bincount(u, minlength=n)
-        + np.bincount(w, minlength=n)
-    )
-    if ra is not None:
-        counts = counts[ra]  # counts indexed by new ID -> original order
+    with root_span("local-triangles", num_vertices=n) as span:
+        if degree_order and n:
+            work, ra = apply_degree_ordering(graph)
+        else:
+            work, ra = graph, None
+        v, u, w = _matched_triangles(work.orient_lower())
+        counts = (
+            np.bincount(v, minlength=n)
+            + np.bincount(u, minlength=n)
+            + np.bincount(w, minlength=n)
+        )
+        if ra is not None:
+            counts = counts[ra]  # counts indexed by new ID -> original order
+        span.set("triangles", int(v.size))
     return counts
 
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.graph.build import to_sparse
 from repro.graph.csr import CSRGraph
+from repro.obs import root_span
 
 import scipy.sparse as sp
 
@@ -19,12 +20,20 @@ __all__ = ["count_triangles_matrix"]
 
 def count_triangles_matrix(graph: CSRGraph) -> int:
     """Exact triangle count via sparse matrix multiplication."""
-    a = to_sparse(graph)
-    if a.nnz == 0:
-        return 0
-    lower = sp.tril(a, k=-1, format="csr")
-    # paths of length 2 from u to w via any v, restricted to edges (u, w):
-    # (A @ A) ∘ A counts each triangle 6 times; using L on both probe sides
-    # counts each once: L[u,v], L[v,w] nonzero with w<v<u and edge (u,w).
-    paths = lower @ lower
-    return int(paths.multiply(lower).sum())
+    with root_span(
+        "matrix", num_vertices=graph.num_vertices, num_edges=graph.num_edges
+    ) as span:
+        a = to_sparse(graph)
+        if a.nnz == 0:
+            span.set("triangles", 0)
+            return 0
+        lower = sp.tril(a, k=-1, format="csr")
+        # paths of length 2 from u to w via any v, restricted to edges (u, w):
+        # (A @ A) ∘ A counts each triangle 6 times; using L on both probe
+        # sides counts each once: L[u,v], L[v,w] nonzero with w<v<u and
+        # edge (u,w).
+        paths = lower @ lower
+        triangles = int(paths.multiply(lower).sum())
+        span.set("spgemm_nnz", int(paths.nnz))
+        span.set("triangles", triangles)
+    return triangles

@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.obs import root_span
 from repro.tc.intersect import batch_intersect_counts
 from repro.tc.result import TCResult
 from repro.util.timer import Timer
@@ -27,15 +28,23 @@ def count_triangles_node_iterator(graph: CSRGraph) -> TCResult:
     a final division.
     """
     indptr, indices = graph.indptr, graph.indices
-    with Timer() as t:
+    with root_span(
+        "node-iterator",
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+    ) as rspan, Timer() as t:
         total = 0
+        intersections = 0
         for v in range(graph.num_vertices):
             row = indices[indptr[v] : indptr[v + 1]]
             if row.size < 2:
                 continue
+            intersections += row.size
             counts = batch_intersect_counts(indptr, indices, row, row.astype(np.int64))
             total += int(counts.sum())
         triangles = total // 6
+        rspan.set("intersections", intersections)
+        rspan.set("triangles", triangles)
     return TCResult(
         algorithm="node-iterator",
         triangles=triangles,

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.graph.csr import CSRGraph
 from repro.graph.reorder import apply_degree_ordering
+from repro.obs import root_span, timed_phase
 from repro.tc.result import TCResult
 from repro.util.arrays import concat_ranges, group_ids, segment_sums
 from repro.util.timer import PhaseTimer
@@ -131,13 +132,26 @@ def count_triangles_spgemm(graph: CSRGraph, degree_order: bool = True) -> TCResu
     GraphChallenge kernels; exact, from scratch (no scipy).
     """
     timer = PhaseTimer()
-    with timer.phase("preprocess"):
-        work = apply_degree_ordering(graph)[0] if degree_order else graph
-        oriented = work.orient_lower()
-    with timer.phase("count"):
-        triangles = masked_spgemm_count(
-            oriented.indptr, oriented.indices
-        )
+    with root_span(
+        "spgemm-masked",
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+    ) as rspan:
+        with timed_phase(timer, "preprocess") as span:
+            work = apply_degree_ordering(graph)[0] if degree_order else graph
+            oriented = work.orient_lower()
+            span.set("oriented_arcs", oriented.num_edges)
+        with timed_phase(timer, "count") as span:
+            triangles = masked_spgemm_count(
+                oriented.indptr, oriented.indices
+            )
+            if span.enabled:
+                lens = np.diff(oriented.indptr)
+                span.set(
+                    "gather_volume",
+                    int(lens[oriented.indices.astype(np.int64, copy=False)].sum()),
+                )
+        rspan.set("triangles", triangles)
     return TCResult(
         algorithm="spgemm-masked",
         triangles=triangles,

@@ -1,10 +1,13 @@
 """Tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.cli import main
 from repro.graph import erdos_renyi, save_edgelist, save_npz
+from repro.obs import report_from_json, spans_from_report
 
 
 @pytest.fixture
@@ -83,3 +86,72 @@ class TestOtherCommands:
         ]) == 0
         out = capsys.readouterr().out
         assert "forward" in out and "lotus" in out and "LLC misses" in out
+
+
+class TestReport:
+    def test_json_report_has_span_tree(self, edgelist_file, capsys):
+        assert main(["report", "--file", edgelist_file]) == 0
+        report = report_from_json(capsys.readouterr().out)
+        assert report["meta"]["algorithm"] == "lotus"
+        roots = spans_from_report(report)
+        lotus = next(s for s in roots if s.name == "lotus")
+        child_names = [c.name for c in lotus.children]
+        assert child_names == ["preprocess", "hhh+hhn", "hnn", "nnn"]
+        assert lotus.attrs["triangles"] == report["meta"]["triangles"]
+
+    def test_json_report_other_algorithm(self, npz_file, capsys):
+        assert main([
+            "report", "--file", npz_file, "--algorithm", "forward",
+        ]) == 0
+        report = report_from_json(capsys.readouterr().out)
+        roots = spans_from_report(report)
+        assert any(s.name == "forward" for s in roots)
+
+    def test_csv_format(self, edgelist_file, capsys):
+        assert main(["report", "--file", edgelist_file, "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        lines = out.strip().splitlines()
+        assert lines[0] == "record,name,value,detail"
+        assert any(line.startswith("span,lotus/preprocess,") for line in lines)
+
+    def test_tree_format(self, edgelist_file, capsys):
+        assert main(["report", "--file", edgelist_file, "--format", "tree"]) == 0
+        out = capsys.readouterr().out
+        for phase in ("lotus", "preprocess", "hhh+hhn", "hnn", "nnn"):
+            assert phase in out
+
+    def test_output_file(self, edgelist_file, tmp_path, capsys):
+        dest = tmp_path / "report.json"
+        assert main([
+            "report", "--file", edgelist_file, "--output", str(dest),
+        ]) == 0
+        assert "wrote json report" in capsys.readouterr().out
+        report = report_from_json(dest.read_text())
+        assert report["meta"]["triangles"] >= 0
+
+    def test_memsim_metrics_in_report(self, edgelist_file, capsys):
+        assert main([
+            "report", "--file", edgelist_file, "--memsim", "--scale", "64",
+        ]) == 0
+        report = report_from_json(capsys.readouterr().out)
+        gauges = report["metrics"]["gauges"]
+        for alg in ("forward", "lotus"):
+            assert f"memsim.{alg}.l1.hit_rate" in gauges
+            assert 0.0 <= gauges[f"memsim.{alg}.l1.hit_rate"] <= 1.0
+        roots = spans_from_report(report)
+        assert any(s.name == "memsim:lotus" for s in roots)
+
+    def test_dataset_meta(self, capsys):
+        assert main([
+            "report", "--dataset", "Frndstr", "--format", "json",
+        ]) == 0
+        report = report_from_json(capsys.readouterr().out)
+        assert report["meta"]["dataset"] == "Frndstr"
+        assert report["meta"]["triangles"] == 4_888
+        assert report["schema"] == 1
+
+    def test_report_is_valid_json_document(self, edgelist_file, capsys):
+        """The raw stdout must be a single well-formed JSON document."""
+        assert main(["report", "--file", edgelist_file]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert set(parsed) >= {"schema", "meta", "metrics", "spans"}

@@ -1,0 +1,188 @@
+"""Unit tests for the metrics registry: counter / gauge / histogram
+semantics, get-or-create behaviour, disabled-mode no-ops, thread safety."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    NULL_REGISTRY,
+    enabled,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.obs.registry import Counter, Gauge, Histogram
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.add(5)
+        c.inc()
+        c.add(2.5)
+        assert c.value == 8.5
+
+    def test_negative_add_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("x").add(-1)
+
+    def test_thread_safe_increments(self):
+        c = Counter("x")
+
+        def work():
+            for _ in range(10_000):
+                c.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 40_000
+
+
+class TestGauge:
+    def test_last_value_wins(self):
+        g = Gauge("rate")
+        g.set(0.25)
+        g.set(0.75)
+        assert g.value == 0.75
+
+    def test_coerces_to_float(self):
+        g = Gauge("n")
+        g.set(3)
+        assert isinstance(g.value, float)
+
+
+class TestHistogram:
+    def test_count_sum_min_max_mean(self):
+        h = Histogram("work", buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 5, 5, 50, 500):
+            h.observe(v)
+        assert h.count == 5
+        assert h.sum == pytest.approx(560.5)
+        assert h.min == 0.5
+        assert h.max == 500
+        assert h.mean == pytest.approx(560.5 / 5)
+
+    def test_bucket_assignment_and_overflow(self):
+        h = Histogram("work", buckets=(1.0, 10.0))
+        h.observe(1.0)   # <= 1.0 -> first bucket
+        h.observe(2.0)   # <= 10.0 -> second bucket
+        h.observe(11.0)  # overflow bucket
+        assert h.counts == [1, 1, 1]
+
+    def test_default_buckets_cover_wide_range(self):
+        h = Histogram("work")
+        h.observe(1)
+        h.observe(1 << 29)
+        assert h.count == 2
+        assert h.counts[0] == 1
+
+    def test_quantile(self):
+        h = Histogram("work", buckets=(1.0, 2.0, 4.0, 8.0))
+        for v in (1, 2, 2, 4, 8):
+            h.observe(v)
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(0.5) == 2.0
+        assert h.quantile(1.0) == 8.0
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_empty_quantile_is_zero(self):
+        assert Histogram("work").quantile(0.5) == 0.0
+
+    def test_rejects_empty_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("work", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+        with pytest.raises(ValueError):
+            reg.histogram("x")
+
+    def test_snapshot_structure(self):
+        reg = MetricsRegistry()
+        reg.counter("c").add(3)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(7)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 3}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+        assert snap["histograms"]["h"]["sum"] == 7.0
+
+    def test_clear(self):
+        reg = MetricsRegistry()
+        reg.counter("c").add(3)
+        with reg.span("s"):
+            pass
+        reg.clear()
+        snap = reg.snapshot()
+        assert snap["counters"] == {}
+        assert reg.roots == []
+
+
+class TestDisabledMode:
+    def test_default_registry_is_disabled(self):
+        assert get_registry() is NULL_REGISTRY
+        assert not enabled()
+
+    def test_null_registry_operations_are_noops(self):
+        NULL_REGISTRY.counter("x").add(5)
+        NULL_REGISTRY.gauge("y").set(1.0)
+        NULL_REGISTRY.histogram("z").observe(3)
+        assert NULL_REGISTRY.counter("x").value == 0
+        assert NULL_REGISTRY.gauge("y").value == 0.0
+        assert NULL_REGISTRY.histogram("z").count == 0
+        snap = NULL_REGISTRY.snapshot()
+        assert snap["counters"] == {}
+
+    def test_null_span_records_nothing(self):
+        with NULL_REGISTRY.span("phase") as span:
+            span.set("ops", 10)
+            span.add("ops", 5)
+        assert not span.enabled
+        assert span.attrs == {}
+        assert NULL_REGISTRY.roots == []
+        assert NULL_REGISTRY.current_span() is None
+
+    def test_use_registry_enables_and_restores(self):
+        assert not enabled()
+        with use_registry() as reg:
+            assert enabled()
+            assert get_registry() is reg
+            reg.counter("c").inc()
+        assert not enabled()
+        assert reg.counter("c").value == 1
+
+    def test_use_registry_nests(self):
+        with use_registry() as outer:
+            with use_registry() as inner:
+                assert get_registry() is inner
+            assert get_registry() is outer
+
+    def test_set_registry_none_disables(self):
+        reg = MetricsRegistry()
+        set_registry(reg)
+        try:
+            assert get_registry() is reg
+        finally:
+            set_registry(None)
+        assert get_registry() is NULL_REGISTRY

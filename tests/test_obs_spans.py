@@ -1,0 +1,247 @@
+"""Span tracing tests: nesting, cross-thread parents, pipeline span trees,
+and JSON/CSV round-trips of emitted reports."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.core import count_triangles_lotus
+from repro.graph import powerlaw_chung_lu
+from repro.obs import (
+    MetricsRegistry,
+    Span,
+    build_report,
+    render_span_tree,
+    report_from_json,
+    report_to_csv,
+    report_to_json,
+    spans_from_report,
+    timed_phase,
+    use_registry,
+)
+from repro.tc import (
+    count_triangles_edge_iterator,
+    count_triangles_forward,
+    count_triangles_forward_hashed,
+    count_triangles_matrix,
+    count_triangles_node_iterator,
+)
+from repro.util.timer import PhaseTimer
+
+
+class TestSpanNesting:
+    def test_children_attach_to_enclosing_span(self):
+        reg = MetricsRegistry()
+        with reg.span("root"):
+            with reg.span("a"):
+                with reg.span("a1"):
+                    pass
+            with reg.span("b"):
+                pass
+        (root,) = reg.roots
+        assert [c.name for c in root.children] == ["a", "b"]
+        assert [c.name for c in root.children[0].children] == ["a1"]
+
+    def test_sequential_roots_accumulate(self):
+        reg = MetricsRegistry()
+        with reg.span("first"):
+            pass
+        with reg.span("second"):
+            pass
+        assert [r.name for r in reg.roots] == ["first", "second"]
+
+    def test_elapsed_and_self_time(self):
+        reg = MetricsRegistry()
+        with reg.span("root"):
+            with reg.span("child"):
+                pass
+        (root,) = reg.roots
+        assert root.elapsed >= root.children[0].elapsed >= 0.0
+        assert root.self_time() == pytest.approx(
+            root.elapsed - root.children[0].elapsed
+        )
+
+    def test_explicit_parent_across_threads(self):
+        reg = MetricsRegistry()
+        with reg.span("phase") as phase:
+            def work():
+                with reg.span("tile", parent=phase) as t:
+                    t.set("hits", 1)
+
+            threads = [threading.Thread(target=work) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        (root,) = reg.roots
+        assert len(root.children) == 8
+        assert root.total_attr("hits") == 8
+
+    def test_attrs_set_and_add(self):
+        span = Span("s")
+        span.set("label", "x")
+        span.add("ops", 3)
+        span.add("ops", 4)
+        assert span.attrs == {"label": "x", "ops": 7}
+
+    def test_find_and_iter(self):
+        reg = MetricsRegistry()
+        with reg.span("root"):
+            with reg.span("inner"):
+                with reg.span("leaf"):
+                    pass
+            with reg.span("leaf"):
+                pass
+        (root,) = reg.roots
+        assert root.find("leaf") is root.children[0].children[0]
+        assert len(root.find_all("leaf")) == 2
+        assert [s.name for s in root.iter_spans()] == [
+            "root", "inner", "leaf", "leaf",
+        ]
+        assert reg.find_span("inner") is not None
+        assert reg.find_span("missing") is None
+
+    def test_timed_phase_feeds_both_timer_and_span(self):
+        timer = PhaseTimer()
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            with timed_phase(timer, "work") as span:
+                span.set("ops", 5)
+        assert "work" in timer.phases
+        (root,) = reg.roots
+        assert root.name == "work"
+        assert root.attrs["ops"] == 5
+        assert root.elapsed > 0.0
+
+
+class TestPipelineSpanTrees:
+    """The instrumented entry points must emit per-phase span trees."""
+
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return powerlaw_chung_lu(1200, 8.0, exponent=2.1, seed=17)
+
+    def test_lotus_emits_phase_tree_with_op_counts(self, graph):
+        with use_registry() as reg:
+            result = count_triangles_lotus(graph)
+        root = reg.find_span("lotus")
+        assert root is not None
+        phases = [c.name for c in root.children]
+        assert phases == ["preprocess", "hhh+hhn", "hnn", "nnn"]
+        assert root.attrs["triangles"] == result.triangles
+        pre = root.find("preprocess")
+        assert pre.attrs["he_edges"] + pre.attrs["nhe_edges"] == graph.num_edges
+        p1 = root.find("hhh+hhn")
+        assert p1.attrs["pairs_tested"] >= 0
+        assert p1.attrs["hhh"] + p1.attrs["hhn"] >= 0
+        counts = result.extra["counts"]
+        assert p1.attrs["hhh"] == counts.hhh
+        assert root.find("hnn").attrs["hnn"] == counts.hnn
+        assert root.find("nnn").attrs["nnn"] == counts.nnn
+        # span times mirror the PhaseTimer breakdown
+        for name, seconds in result.phases.items():
+            assert root.find(name).elapsed == pytest.approx(seconds, rel=0.5, abs=0.01)
+
+    @pytest.mark.parametrize(
+        "fn, root_name",
+        [
+            (count_triangles_forward, "forward"),
+            (count_triangles_forward_hashed, "forward-hashed"),
+            (count_triangles_edge_iterator, "edge-iterator"),
+        ],
+    )
+    def test_two_phase_algorithms_emit_trees(self, graph, fn, root_name):
+        with use_registry() as reg:
+            result = fn(graph)
+        root = reg.find_span(root_name)
+        assert root is not None
+        assert [c.name for c in root.children] == ["preprocess", "count"]
+        assert root.attrs["triangles"] == result.triangles
+        assert root.attrs["num_edges"] == graph.num_edges
+
+    def test_single_phase_algorithms_emit_root_spans(self, graph):
+        with use_registry() as reg:
+            result = count_triangles_node_iterator(graph)
+            matrix = count_triangles_matrix(graph)
+        node = reg.find_span("node-iterator")
+        assert node.attrs["triangles"] == result.triangles
+        assert node.attrs["intersections"] > 0
+        assert reg.find_span("matrix").attrs["triangles"] == matrix
+
+    def test_disabled_mode_emits_nothing(self, graph):
+        # no active registry: the same code paths must leave no trace
+        from repro.obs import NULL_REGISTRY
+
+        count_triangles_lotus(graph)
+        assert NULL_REGISTRY.roots == []
+
+
+class TestReportRoundTrip:
+    def _sample_registry(self):
+        reg = MetricsRegistry()
+        with reg.span("root", dataset="test") as root:
+            with reg.span("phase") as phase:
+                phase.add("ops", 42)
+            root.set("triangles", 7)
+        reg.counter("pairs").add(10)
+        reg.gauge("hit_rate").set(0.875)
+        reg.histogram("tile_work", buckets=(1.0, 8.0, 64.0)).observe(5)
+        return reg
+
+    def test_json_round_trip_preserves_everything(self):
+        reg = self._sample_registry()
+        report = build_report(reg, meta={"algorithm": "lotus"})
+        text = report_to_json(report)
+        back = report_from_json(text)
+        assert back["meta"] == {"algorithm": "lotus"}
+        assert back["metrics"] == reg.snapshot()
+        (root,) = spans_from_report(back)
+        orig = reg.roots[0]
+        assert root.name == orig.name
+        assert root.attrs == orig.attrs
+        assert root.elapsed == orig.elapsed
+        assert root.children[0].attrs == {"ops": 42}
+        # a second round-trip is byte-identical
+        assert report_to_json(build_reparsed(back)) == text
+
+    def test_rejects_wrong_schema_and_missing_sections(self):
+        with pytest.raises(ValueError):
+            report_from_json(json.dumps({"schema": 99}))
+        with pytest.raises(ValueError):
+            report_from_json(json.dumps({"schema": 1, "meta": {}, "spans": []}))
+
+    def test_csv_projection(self):
+        reg = self._sample_registry()
+        csv_text = report_to_csv(build_report(reg))
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "record,name,value,detail"
+        records = {line.split(",")[0] for line in lines[1:]}
+        assert records == {"counter", "gauge", "histogram", "span"}
+        assert any(line.startswith("span,root/phase,") for line in lines)
+
+    def test_render_span_tree(self):
+        reg = self._sample_registry()
+        text = render_span_tree(reg.roots[0])
+        assert "root" in text and "phase" in text and "ops=42" in text
+
+    def test_numpy_scalars_serialise(self):
+        import numpy as np
+
+        reg = MetricsRegistry()
+        with reg.span("s") as span:
+            span.set("n", np.int64(3))
+        text = report_to_json(build_report(reg))
+        assert json.loads(text)["spans"][0]["attrs"]["n"] == 3
+
+
+def build_reparsed(report: dict) -> dict:
+    """Rebuild a report dict from its parsed spans (round-trip helper)."""
+    return {
+        "schema": report["schema"],
+        "meta": report["meta"],
+        "metrics": report["metrics"],
+        "spans": [s.to_dict() for s in spans_from_report(report)],
+    }

@@ -1,0 +1,106 @@
+"""Determinism of the threaded phase-1 executor and consistency of its
+per-tile span metrics.
+
+Triangle counting is a pure integer reduction, so the parallel phase
+must be *bit-identical* to the sequential one for any worker count,
+tiling policy, or (uneven) tile size — and the per-tile observability
+spans must sum exactly to the end-to-end phase span.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import build_lotus_graph
+from repro.core.count import count_hhh_hhn
+from repro.core.tiling import tiles_for_phase1
+from repro.graph import powerlaw_chung_lu, rmat
+from repro.obs import use_registry
+from repro.parallel.executor import count_hhh_hhn_parallel
+
+
+@pytest.fixture(scope="module")
+def skewed_lotus():
+    graph = powerlaw_chung_lu(4000, 10.0, exponent=2.0, seed=21)
+    return build_lotus_graph(graph)
+
+
+@pytest.fixture(scope="module")
+def web_lotus():
+    graph = rmat(11, edge_factor=8, a=0.62, b=0.1266, c=0.1266, seed=22)
+    return build_lotus_graph(graph)
+
+
+@pytest.fixture(scope="module")
+def sequential_counts(skewed_lotus, web_lotus):
+    return {
+        "skewed": sum(count_hhh_hhn(skewed_lotus)),
+        "web": sum(count_hhh_hhn(web_lotus)),
+    }
+
+
+@pytest.mark.parametrize("threads", [1, 2, 4])
+@pytest.mark.parametrize("policy", ["squared", "edge_balanced"])
+def test_parallel_bit_identical_to_sequential(
+    skewed_lotus, sequential_counts, threads, policy
+):
+    got = count_hhh_hhn_parallel(skewed_lotus, threads=threads, policy=policy)
+    assert got == sequential_counts["skewed"]
+
+
+@pytest.mark.parametrize("threads", [1, 2, 4])
+def test_parallel_on_web_graph(web_lotus, sequential_counts, threads):
+    got = count_hhh_hhn_parallel(web_lotus, threads=threads)
+    assert got == sequential_counts["web"]
+
+
+@pytest.mark.parametrize("degree_threshold", [2, 7, 33, 512])
+def test_uneven_tile_sizes(skewed_lotus, sequential_counts, degree_threshold):
+    """Low thresholds force splitting of nearly every list, producing many
+    small, uneven tiles; the reduction must not change."""
+    got = count_hhh_hhn_parallel(
+        skewed_lotus, threads=3, degree_threshold=degree_threshold
+    )
+    assert got == sequential_counts["skewed"]
+
+
+@pytest.mark.parametrize("threads", [1, 2, 4])
+def test_tile_spans_sum_to_phase_span(skewed_lotus, sequential_counts, threads):
+    with use_registry() as reg:
+        total = count_hhh_hhn_parallel(skewed_lotus, threads=threads)
+    assert total == sequential_counts["skewed"]
+    phase = reg.find_span("phase1-parallel")
+    assert phase is not None
+    assert phase.attrs["hits"] == total
+    tiles = phase.find_all("tile")
+    assert len(tiles) == phase.attrs["tiles"]
+    # per-tile metrics reassemble the end-to-end numbers exactly
+    assert sum(t.attrs["hits"] for t in tiles) == total
+    expected_work = sum(
+        t.work for t in tiles_for_phase1(skewed_lotus.he, partitions=2 * threads)
+    )
+    assert sum(t.attrs["pair_work"] for t in tiles) == expected_work
+    if threads > 1:
+        batches = phase.find_all("batch")
+        assert sum(b.attrs["hits"] for b in batches) == total
+        assert sum(b.attrs["tiles"] for b in batches) == len(tiles)
+        assert all(b.attrs["queue_wait_s"] >= 0.0 for b in batches)
+        # every batch span nests inside the phase span
+        assert all(b.elapsed <= phase.elapsed for b in batches)
+
+    snap = reg.snapshot()
+    assert snap["counters"]["parallel.tiles"] == len(tiles)
+    assert snap["histograms"]["parallel.tile_work"]["count"] == len(tiles)
+    assert snap["histograms"]["parallel.tile_work"]["sum"] == pytest.approx(
+        float(expected_work)
+    )
+    if threads > 1:
+        assert snap["histograms"]["parallel.queue_wait_s"]["count"] == (
+            snap["counters"]["parallel.batches"]
+        )
+
+
+def test_disabled_observability_unchanged_result(skewed_lotus, sequential_counts):
+    """The untraced fast path (no registry) returns the same reduction."""
+    got = count_hhh_hhn_parallel(skewed_lotus, threads=4)
+    assert got == sequential_counts["skewed"]
