@@ -28,6 +28,27 @@ FAST = os.environ.get("REPRO_BENCH_FAST", "") == "1"
 FAST_SUITE = ("LJGrp", "Twtr10", "Frndstr", "SK")
 
 
+def write_experiment_artifacts(result, registry, results_dir=RESULTS_DIR):
+    """Persist one experiment's paired artifacts: ``<id>.txt`` + ``<id>.json``.
+
+    Shared by every ``bench_fig*.py`` / ``bench_table*.py`` (via
+    :func:`run_experiment`) so each benchmark always leaves a structured
+    observability artifact next to its rendered table.  Returns the
+    rendered text.
+    """
+    results_dir.mkdir(exist_ok=True)
+    text = result.render()
+    (results_dir / f"{result.experiment_id}.txt").write_text(text + "\n")
+    obs_report = build_report(
+        registry, meta={"experiment_id": result.experiment_id, "fast": FAST}
+    )
+    payload = {"experiment": result.to_dict(), "observability": obs_report}
+    (results_dir / f"{result.experiment_id}.json").write_text(
+        report_to_json(payload) + "\n"
+    )
+    return text
+
+
 def run_experiment(benchmark, fn, *args, **kwargs):
     """Benchmark one experiment function and persist its outputs.
 
@@ -38,16 +59,7 @@ def run_experiment(benchmark, fn, *args, **kwargs):
         result = benchmark.pedantic(
             lambda: fn(*args, **kwargs), rounds=1, iterations=1
         )
-    RESULTS_DIR.mkdir(exist_ok=True)
-    text = result.render()
-    (RESULTS_DIR / f"{result.experiment_id}.txt").write_text(text + "\n")
-    obs_report = build_report(
-        registry, meta={"experiment_id": result.experiment_id, "fast": FAST}
-    )
-    payload = {"experiment": result.to_dict(), "observability": obs_report}
-    (RESULTS_DIR / f"{result.experiment_id}.json").write_text(
-        report_to_json(payload) + "\n"
-    )
+    text = write_experiment_artifacts(result, registry)
     print("\n" + text)
     return result
 

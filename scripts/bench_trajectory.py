@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Run the pinned benchmark-trajectory suite and write ``BENCH_<date>.json``.
+
+The artifact (triangle counts, simulated miss totals, per-region miss
+shares on every machine model) is the unit the regression gate compares:
+
+    PYTHONPATH=src python scripts/bench_trajectory.py --quick
+    PYTHONPATH=src python -m repro.obs.regress \\
+        benchmarks/trajectory/BENCH_baseline.json --latest benchmarks/trajectory
+
+``--baseline`` rewrites the committed baseline instead (do this in the
+same commit as any intentional change to the tracked metrics).
+See ``repro/obs/trajectory.py`` for the schema and suite definitions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.obs.trajectory import (  # noqa: E402  (path bootstrap above)
+    ALL_MACHINES,
+    DEFAULT_SUITE,
+    QUICK_SUITE,
+    build_trajectory_artifact,
+    write_trajectory_artifact,
+)
+
+DEFAULT_OUT = pathlib.Path(__file__).resolve().parents[1] / "benchmarks" / "trajectory"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help=f"measure only the quick suite {QUICK_SUITE}")
+    parser.add_argument("--out", default=str(DEFAULT_OUT),
+                        help="directory for the BENCH_<date>.json artifact")
+    parser.add_argument("--date", default=None,
+                        help="override the artifact date stamp (YYYY-MM-DD)")
+    parser.add_argument("--baseline", action="store_true",
+                        help="write BENCH_baseline.json (the committed gate)")
+    parser.add_argument("--machines", nargs="+", default=list(ALL_MACHINES),
+                        choices=list(ALL_MACHINES), help="machine models to replay")
+    args = parser.parse_args(argv)
+    suite = QUICK_SUITE if args.quick else DEFAULT_SUITE
+    started = time.perf_counter()
+    artifact = build_trajectory_artifact(
+        suite=suite, machines=tuple(args.machines), generated=args.date
+    )
+    path = write_trajectory_artifact(artifact, args.out, baseline=args.baseline)
+    elapsed = time.perf_counter() - started
+    print(f"wrote {path} ({len(artifact['metrics'])} tracked metrics, "
+          f"{elapsed:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

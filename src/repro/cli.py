@@ -11,7 +11,11 @@ Commands:
 * ``analyze``     — Table-1 style hub analytics of a graph;
 * ``datasets``    — list the synthetic stand-in registry;
 * ``experiment``  — regenerate one paper table/figure by ID;
-* ``simulate``    — Figure-4 style cache replay for one dataset.
+* ``simulate``    — Figure-4 style cache replay for one dataset;
+* ``locality``    — per-region attribution report: which structure
+  (``he``/``nhe``/``h2h``/``indices``) causes which L1/L2/LLC/DTLB
+  misses, with per-region reuse-distance percentiles (see
+  ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -217,6 +221,36 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_locality(args: argparse.Namespace) -> int:
+    from repro.memsim import MACHINES
+    from repro.obs.locality import build_locality_report, render_locality_table
+    from repro.obs.report import report_to_json
+
+    graph = _load_graph(args)
+    machine = MACHINES[args.machine].scaled(args.scale)
+    algorithms = (
+        ("forward", "lotus") if args.algorithm == "both" else (args.algorithm,)
+    )
+    report = build_locality_report(
+        graph,
+        machine,
+        dataset=args.dataset or args.file,
+        algorithms=algorithms,
+        reuse_limit=args.reuse_limit,
+    )
+    if args.format == "json":
+        text = report_to_json(report)
+    else:
+        text = render_locality_table(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.format} locality report to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="LOTUS triangle counting reproduction"
@@ -264,6 +298,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=int, default=1024,
                    help="cache capacity scale factor (DESIGN.md §1)")
     p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser(
+        "locality", help="per-region cache/TLB attribution report"
+    )
+    _add_graph_args(p)
+    p.add_argument("--machine", choices=("SkyLakeX", "Haswell", "Epyc"),
+                   default="SkyLakeX")
+    p.add_argument("--scale", type=int, default=1024,
+                   help="cache capacity scale factor (DESIGN.md §1)")
+    p.add_argument("--algorithm", choices=("forward", "lotus", "both"),
+                   default="both")
+    p.add_argument("--format", choices=("json", "table"), default="table")
+    p.add_argument("--output", help="write the report here instead of stdout")
+    p.add_argument("--reuse-limit", type=int, default=200_000,
+                   help="trace prefix length for reuse-distance profiling")
+    p.set_defaults(fn=cmd_locality)
     return parser
 
 

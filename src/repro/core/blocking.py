@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.structure import LotusGraph
 from repro.memsim.layout import MemoryLayout
+from repro.memsim.regions import REGION_HE, REGION_NHE
 from repro.memsim.trace import (
     _arc_prefix_segments,
     _interleave,
@@ -75,8 +76,8 @@ def phase2_blocked_trace(
     ``block_size``-row window.
     """
     layout = layout or lotus_layout(lotus)
-    he_region = layout["he"]
-    nhe_region = layout["nhe"]
+    he_region = layout[REGION_HE]
+    nhe_region = layout[REGION_NHE]
     he_indptr = lotus.he.indptr
     nhe_indptr = lotus.nhe.indptr
     src = _oriented_arcs(nhe_indptr)

@@ -11,10 +11,21 @@ for the PAPI hardware counters (see DESIGN.md §1).
 
 from repro.memsim.cache import SetAssociativeCache, CacheStats
 from repro.memsim.tlb import TLB
-from repro.memsim.hierarchy import MemoryHierarchy, HierarchyStats
+from repro.memsim.hierarchy import MemoryHierarchy, HierarchyStats, AttributedStats
 from repro.memsim.machines import MachineSpec, MACHINES, SKYLAKEX, HASWELL, EPYC
-from repro.memsim.layout import MemoryLayout, Region
+from repro.memsim.layout import MemoryLayout, Region, RegionClassifier
+from repro.memsim.regions import (
+    LINE_BYTES,
+    REGION_HE,
+    REGION_NHE,
+    REGION_H2H,
+    REGION_INDICES,
+    REGION_OTHER,
+    LOTUS_REGIONS,
+    FORWARD_REGIONS,
+)
 from repro.memsim.trace import (
+    forward_layout,
     forward_trace,
     lotus_phase1_trace,
     lotus_phase2_trace,
@@ -29,7 +40,13 @@ from repro.memsim.opcounts import (
     two_bit_predictor_miss_rate,
 )
 from repro.memsim.costmodel import modeled_seconds, CostModel
-from repro.memsim.reuse import reuse_distance_histogram, lru_hit_curve, ReuseProfile
+from repro.memsim.reuse import (
+    reuse_distance_histogram,
+    reuse_distance_by_region,
+    lru_hit_curve,
+    ReuseProfile,
+    RegionReuseProfiles,
+)
 
 __all__ = [
     "SetAssociativeCache",
@@ -37,6 +54,7 @@ __all__ = [
     "TLB",
     "MemoryHierarchy",
     "HierarchyStats",
+    "AttributedStats",
     "MachineSpec",
     "MACHINES",
     "SKYLAKEX",
@@ -44,6 +62,16 @@ __all__ = [
     "EPYC",
     "MemoryLayout",
     "Region",
+    "RegionClassifier",
+    "LINE_BYTES",
+    "REGION_HE",
+    "REGION_NHE",
+    "REGION_H2H",
+    "REGION_INDICES",
+    "REGION_OTHER",
+    "LOTUS_REGIONS",
+    "FORWARD_REGIONS",
+    "forward_layout",
     "forward_trace",
     "lotus_phase1_trace",
     "lotus_phase2_trace",
@@ -57,6 +85,8 @@ __all__ = [
     "modeled_seconds",
     "CostModel",
     "reuse_distance_histogram",
+    "reuse_distance_by_region",
     "lru_hit_curve",
     "ReuseProfile",
+    "RegionReuseProfiles",
 ]

@@ -14,7 +14,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["CacheStats", "SetAssociativeCache", "compress_consecutive"]
+__all__ = [
+    "CacheStats",
+    "SetAssociativeCache",
+    "compress_consecutive",
+    "consecutive_keep_mask",
+]
 
 
 @dataclass
@@ -48,11 +53,24 @@ def compress_consecutive(lines: np.ndarray) -> tuple[np.ndarray, int]:
     lines = np.asarray(lines, dtype=np.int64)
     if lines.size == 0:
         return lines, 0
+    compressed = lines[consecutive_keep_mask(lines)]
+    return compressed, int(lines.size - compressed.size)
+
+
+def consecutive_keep_mask(lines: np.ndarray) -> np.ndarray:
+    """Boolean mask marking the first access of each consecutive run.
+
+    ``lines[mask]`` is the compressed stream of :func:`compress_consecutive`;
+    ``~mask`` selects the collapsed repeats (guaranteed first-level hits),
+    which attribution needs positionally to credit them to the right region.
+    """
+    lines = np.asarray(lines, dtype=np.int64)
     keep = np.empty(lines.size, dtype=bool)
+    if lines.size == 0:
+        return keep
     keep[0] = True
     np.not_equal(lines[1:], lines[:-1], out=keep[1:])
-    compressed = lines[keep]
-    return compressed, int(lines.size - compressed.size)
+    return keep
 
 
 class SetAssociativeCache:
@@ -121,6 +139,41 @@ class SetAssociativeCache:
                     s.popitem(last=False)
         self.stats.hits += hits
         return np.asarray(misses, dtype=np.int64)
+
+    def access_lines_flags(self, lines: np.ndarray) -> np.ndarray:
+        """Simulate the access sequence; returns a boolean *miss mask*.
+
+        Identical replacement policy and statistics to
+        :meth:`access_lines`, but the per-access outcome is preserved so
+        callers can attribute each miss (e.g. to the layout region that
+        owns the line).  ``lines[mask]`` is exactly what
+        :meth:`access_lines` would have returned.
+        """
+        lines = np.asarray(lines, dtype=np.int64)
+        n = lines.size
+        self.stats.accesses += n
+        miss = np.zeros(n, dtype=bool)
+        if n == 0:
+            return miss
+        if self.num_sets == 0:
+            miss[:] = True  # disabled level: all miss
+            return miss
+        nsets = self.num_sets
+        ways = self.ways
+        sets = self._sets
+        missed = 0
+        for i, line in enumerate(lines.tolist()):
+            s = sets[line % nsets]
+            if line in s:
+                s.move_to_end(line)
+            else:
+                miss[i] = True
+                missed += 1
+                s[line] = None
+                if len(s) > ways:
+                    s.popitem(last=False)
+        self.stats.hits += n - missed
+        return miss
 
     def credit_hits(self, count: int) -> None:
         """Account ``count`` guaranteed hits (from consecutive compression)."""

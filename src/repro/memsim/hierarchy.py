@@ -9,16 +9,26 @@ misses) from the algorithms' address traces.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.memsim.cache import SetAssociativeCache, compress_consecutive
+from repro.memsim.cache import (
+    SetAssociativeCache,
+    compress_consecutive,
+    consecutive_keep_mask,
+)
+from repro.memsim.layout import MemoryLayout, RegionClassifier
 from repro.memsim.machines import MachineSpec
 from repro.memsim.tlb import TLB
 from repro.obs import MetricsRegistry, get_registry
 
-__all__ = ["HierarchyStats", "MemoryHierarchy"]
+__all__ = ["HierarchyStats", "AttributedStats", "MemoryHierarchy"]
+
+
+def _rate(hits: int, total: int) -> float:
+    """Hit rate with the zero-access guard (0.0, never NaN)."""
+    return hits / total if total else 0.0
 
 
 @dataclass(frozen=True)
@@ -47,6 +57,114 @@ class HierarchyStats:
     @property
     def dram_accesses(self) -> int:
         return self.llc_misses
+
+    # hit rates are per level-local traffic (L2 sees only L1's misses);
+    # all guard the zero-access case so empty replays export 0.0, not NaN
+    @property
+    def l1_hit_rate(self) -> float:
+        return _rate(self.l1_hits, self.accesses)
+
+    @property
+    def l2_hit_rate(self) -> float:
+        return _rate(self.l2_hits, self.l1_misses)
+
+    @property
+    def l3_hit_rate(self) -> float:
+        return _rate(self.l3_hits, self.l2_misses)
+
+    @property
+    def dtlb_hit_rate(self) -> float:
+        return _rate(self.dtlb_accesses - self.dtlb_misses, self.dtlb_accesses)
+
+    def __add__(self, other: "HierarchyStats") -> "HierarchyStats":
+        return HierarchyStats(
+            accesses=self.accesses + other.accesses,
+            l1_misses=self.l1_misses + other.l1_misses,
+            l2_misses=self.l2_misses + other.l2_misses,
+            llc_misses=self.llc_misses + other.llc_misses,
+            dtlb_accesses=self.dtlb_accesses + other.dtlb_accesses,
+            dtlb_misses=self.dtlb_misses + other.dtlb_misses,
+        )
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "accesses": self.accesses,
+            "l1_misses": self.l1_misses,
+            "l2_misses": self.l2_misses,
+            "llc_misses": self.llc_misses,
+            "dtlb_accesses": self.dtlb_accesses,
+            "dtlb_misses": self.dtlb_misses,
+        }
+
+
+_LEVELS = ("l1", "l2", "llc", "dtlb")
+
+
+@dataclass(frozen=True)
+class AttributedStats:
+    """Per-region hierarchy stats of one attributed replay.
+
+    ``regions`` maps region name → :class:`HierarchyStats` counting only
+    the accesses that fall inside that region; by construction the
+    per-region counts sum exactly to the unattributed totals of the same
+    replay (``totals()``).  Regions with zero accesses are included so a
+    report always covers the full layout.
+    """
+
+    regions: dict[str, HierarchyStats] = field(default_factory=dict)
+
+    def totals(self) -> HierarchyStats:
+        total = HierarchyStats(0, 0, 0, 0, 0, 0)
+        for stats in self.regions.values():
+            total = total + stats
+        return total
+
+    def __add__(self, other: "AttributedStats") -> "AttributedStats":
+        merged = dict(self.regions)
+        for name, stats in other.regions.items():
+            merged[name] = merged[name] + stats if name in merged else stats
+        return AttributedStats(merged)
+
+    def miss_shares(self, level: str) -> dict[str, float]:
+        """Each region's share of the total misses at ``level``
+        (one of ``l1``/``l2``/``llc``/``dtlb``); 0.0 when no misses."""
+        if level not in _LEVELS:
+            raise ValueError(f"unknown level {level!r}; one of {_LEVELS}")
+        attr = f"{level}_misses"
+        total = sum(getattr(s, attr) for s in self.regions.values())
+        return {
+            name: _rate(getattr(s, attr), total)
+            for name, s in self.regions.items()
+        }
+
+    def export_metrics(
+        self, registry: MetricsRegistry | None = None, prefix: str = "memsim"
+    ) -> None:
+        """Publish per-region counters (and span attrs) into a registry.
+
+        Counters land as ``<prefix>.region.<name>.<level>.{accesses,misses}``;
+        when a span is open on the calling thread the per-region LLC/DTLB
+        miss counts are also attached to it, so replays nested under the
+        phase spans produce per-phase, per-structure breakdowns for free.
+        """
+        registry = registry if registry is not None else get_registry()
+        span = registry.current_span()
+        for name, stats in self.regions.items():
+            for level, accesses, misses in (
+                ("l1", stats.accesses, stats.l1_misses),
+                ("l2", stats.l1_misses, stats.l2_misses),
+                ("llc", stats.l2_misses, stats.llc_misses),
+                ("dtlb", stats.dtlb_accesses, stats.dtlb_misses),
+            ):
+                base = f"{prefix}.region.{name}.{level}"
+                registry.counter(f"{base}.accesses").add(accesses)
+                registry.counter(f"{base}.misses").add(misses)
+            if span is not None and span.enabled:
+                span.add(f"{name}.llc_misses", int(stats.llc_misses))
+                span.add(f"{name}.dtlb_misses", int(stats.dtlb_misses))
+
+    def to_dict(self) -> dict[str, dict[str, int]]:
+        return {name: stats.to_dict() for name, stats in self.regions.items()}
 
 
 class MemoryHierarchy:
@@ -89,6 +207,64 @@ class MemoryHierarchy:
         if pages is None:
             pages = lines * self.line_bytes // self.tlb.page_bytes
         self.tlb.access_pages(pages)
+
+    def access_lines_attributed(
+        self,
+        lines: np.ndarray,
+        layout: MemoryLayout | RegionClassifier,
+        pages: np.ndarray | None = None,
+    ) -> AttributedStats:
+        """Replay a line stream, attributing every access to a layout region.
+
+        Cache and TLB state (and :meth:`stats` totals) evolve exactly as
+        in :meth:`access_lines` — the same compression, the same
+        replacement decisions — but the per-access hit/miss outcome is
+        kept and bucketed by the region owning each line/page.  Returns
+        the per-region stats of *this call* (deltas, not cumulative), so
+        replaying per-phase traces one call at a time yields per-phase
+        attribution while the hierarchy stays warm across calls.
+        """
+        classifier = (
+            layout.classifier(self.line_bytes, self.tlb.page_bytes)
+            if isinstance(layout, MemoryLayout)
+            else layout
+        )
+        lines = np.asarray(lines, dtype=np.int64)
+        nreg = classifier.num_regions
+        rid = classifier.classify_lines(lines)
+        accesses = np.bincount(rid, minlength=nreg)
+        # consecutive compression, mirroring access_lines exactly:
+        # collapsed repeats are guaranteed L1 hits in their own region
+        keep = consecutive_keep_mask(lines)
+        compressed = lines[keep]
+        crid = rid[keep]
+        self.l1.credit_hits(int(lines.size - compressed.size))
+        m1 = self.l1.access_lines_flags(compressed)
+        l2_lines, l2_rid = compressed[m1], crid[m1]
+        m2 = self.l2.access_lines_flags(l2_lines)
+        l3_lines, l3_rid = l2_lines[m2], l2_rid[m2]
+        m3 = self.l3.access_lines_flags(l3_lines)
+        l1_miss = np.bincount(l2_rid, minlength=nreg)
+        l2_miss = np.bincount(l3_rid, minlength=nreg)
+        llc_miss = np.bincount(l3_rid[m3], minlength=nreg)
+        if pages is None:
+            pages = lines * self.line_bytes // self.tlb.page_bytes
+        prid = classifier.classify_pages(pages)
+        dtlb_accesses = np.bincount(prid, minlength=nreg)
+        mt = self.tlb.access_pages_flags(pages)
+        dtlb_miss = np.bincount(prid[mt], minlength=nreg)
+        regions = {
+            name: HierarchyStats(
+                accesses=int(accesses[i]),
+                l1_misses=int(l1_miss[i]),
+                l2_misses=int(l2_miss[i]),
+                llc_misses=int(llc_miss[i]),
+                dtlb_accesses=int(dtlb_accesses[i]),
+                dtlb_misses=int(dtlb_miss[i]),
+            )
+            for i, name in enumerate(classifier.names)
+        }
+        return AttributedStats(regions)
 
     def stats(self) -> HierarchyStats:
         return HierarchyStats(

@@ -13,7 +13,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["Region", "MemoryLayout"]
+from repro.memsim.regions import LINE_BYTES, REGION_OTHER
+
+__all__ = ["Region", "MemoryLayout", "RegionClassifier"]
 
 _PAGE = 4096
 
@@ -59,3 +61,62 @@ class MemoryLayout:
     @property
     def total_bytes(self) -> int:
         return sum(r.size_bytes for r in self.regions.values())
+
+    def classifier(
+        self, line_bytes: int = LINE_BYTES, page_bytes: int = _PAGE
+    ) -> "RegionClassifier":
+        """Build a :class:`RegionClassifier` over this layout's regions."""
+        return RegionClassifier(self, line_bytes=line_bytes, page_bytes=page_bytes)
+
+
+class RegionClassifier:
+    """Vectorised line/page → region-name classifier for one layout.
+
+    Region ids are dense: ``0 .. len(regions)-1`` in base-address order,
+    with one extra trailing id for :data:`~repro.memsim.regions.REGION_OTHER`
+    (addresses outside every allocation).  Regions are page-aligned by
+    the allocator, so a cache line or page never straddles two regions;
+    for hand-built layouts that violate this, a straddling block is
+    attributed to the lower-addressed region.
+    """
+
+    def __init__(
+        self,
+        layout: MemoryLayout,
+        line_bytes: int = LINE_BYTES,
+        page_bytes: int = _PAGE,
+    ) -> None:
+        regions = sorted(layout.regions.values(), key=lambda r: r.base)
+        self.names: tuple[str, ...] = tuple(r.name for r in regions) + (REGION_OTHER,)
+        self.other_id = len(regions)
+        bases = np.array([r.base for r in regions], dtype=np.int64)
+        ends = np.array([r.base + max(r.size_bytes, 1) - 1 for r in regions],
+                        dtype=np.int64)
+        self._line_start = bases // line_bytes
+        self._line_end = ends // line_bytes
+        self._page_start = bases // page_bytes
+        self._page_end = ends // page_bytes
+
+    @property
+    def num_regions(self) -> int:
+        """Number of classification buckets, including ``other``."""
+        return self.other_id + 1
+
+    def _classify(
+        self, blocks: np.ndarray, starts: np.ndarray, ends: np.ndarray
+    ) -> np.ndarray:
+        blocks = np.asarray(blocks, dtype=np.int64)
+        if starts.size == 0:
+            return np.full(blocks.size, self.other_id, dtype=np.int64)
+        idx = np.searchsorted(starts, blocks, side="right") - 1
+        safe = np.maximum(idx, 0)
+        inside = (idx >= 0) & (blocks <= ends[safe])
+        return np.where(inside, safe, self.other_id)
+
+    def classify_lines(self, lines: np.ndarray) -> np.ndarray:
+        """Region id of each cache-line number."""
+        return self._classify(lines, self._line_start, self._line_end)
+
+    def classify_pages(self, pages: np.ndarray) -> np.ndarray:
+        """Region id of each page number."""
+        return self._classify(pages, self._page_start, self._page_end)

@@ -1,0 +1,40 @@
+"""Canonical region names shared by layouts, traces, and attribution.
+
+The trace builders (:mod:`repro.memsim.trace`), the blocking layout
+(:mod:`repro.core.blocking`), and the locality attribution layer
+(:mod:`repro.obs.locality`) must agree on the names of the simulated
+data structures — an attribution label is only meaningful if the
+allocation and the classifier spell it the same way.  Define them once
+here; every other module imports these constants instead of repeating
+string literals.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "LINE_BYTES",
+    "REGION_HE",
+    "REGION_NHE",
+    "REGION_H2H",
+    "REGION_INDICES",
+    "REGION_OTHER",
+    "LOTUS_REGIONS",
+    "FORWARD_REGIONS",
+]
+
+# Cache-line granularity of every address trace (DESIGN.md §1).
+LINE_BYTES = 64
+
+# LOTUS structures (Section 4 of the paper).
+REGION_HE = "he"        # hub-edge CSR neighbour arrays
+REGION_NHE = "nhe"      # non-hub-edge CSR neighbour arrays
+REGION_H2H = "h2h"      # hub-to-hub adjacency bit array
+
+# Forward's single structure: the oriented CSR neighbour array.
+REGION_INDICES = "indices"
+
+# Fallback bucket for accesses outside every named allocation.
+REGION_OTHER = "other"
+
+LOTUS_REGIONS: tuple[str, ...] = (REGION_HE, REGION_NHE, REGION_H2H)
+FORWARD_REGIONS: tuple[str, ...] = (REGION_INDICES,)

@@ -9,7 +9,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.memsim.cache import CacheStats, SetAssociativeCache, compress_consecutive
+from repro.memsim.cache import (
+    CacheStats,
+    SetAssociativeCache,
+    compress_consecutive,
+    consecutive_keep_mask,
+)
 
 __all__ = ["TLB"]
 
@@ -52,3 +57,17 @@ class TLB:
         compressed, collapsed = compress_consecutive(pages)
         self._cache.credit_hits(collapsed)
         self._cache.access_lines(compressed)
+
+    def access_pages_flags(self, pages: np.ndarray) -> np.ndarray:
+        """Translate a page stream, returning a per-access boolean miss mask.
+
+        Statistics evolve exactly as in :meth:`access_pages`; collapsed
+        consecutive repeats are reported as hits at their own positions.
+        """
+        pages = np.asarray(pages, dtype=np.int64)
+        keep = consecutive_keep_mask(pages)
+        compressed = pages[keep]
+        self._cache.credit_hits(int(pages.size - compressed.size))
+        miss = np.zeros(pages.size, dtype=bool)
+        miss[keep] = self._cache.access_lines_flags(compressed)
+        return miss

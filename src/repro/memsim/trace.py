@@ -27,10 +27,18 @@ import numpy as np
 from repro.core.structure import LotusGraph
 from repro.graph.csr import OrientedGraph
 from repro.memsim.layout import MemoryLayout, Region
+from repro.memsim.regions import (
+    LINE_BYTES,
+    REGION_H2H,
+    REGION_HE,
+    REGION_INDICES,
+    REGION_NHE,
+)
 from repro.util.arrays import concat_ranges, rows_searchsorted
 
 __all__ = [
     "lotus_layout",
+    "forward_layout",
     "forward_trace",
     "lotus_phase1_trace",
     "lotus_phase2_trace",
@@ -38,8 +46,6 @@ __all__ = [
     "lotus_trace",
     "h2h_access_lines",
 ]
-
-LINE_BYTES = 64
 
 
 def _interleave(
@@ -137,21 +143,32 @@ def lotus_layout(lotus: LotusGraph) -> MemoryLayout:
     across phases (the HE rows in phases 1 and 2) stays warm in the
     simulated caches, as it would in the real single-process run."""
     layout = MemoryLayout()
-    layout.alloc("he", max(lotus.he.indices.size, 1), lotus.he.indices.dtype.itemsize)
-    layout.alloc("nhe", max(lotus.nhe.indices.size, 1), lotus.nhe.indices.dtype.itemsize)
-    layout.alloc("h2h", max(lotus.h2h.data.size, 1), 1)
+    layout.alloc(REGION_HE, max(lotus.he.indices.size, 1), lotus.he.indices.dtype.itemsize)
+    layout.alloc(REGION_NHE, max(lotus.nhe.indices.size, 1), lotus.nhe.indices.dtype.itemsize)
+    layout.alloc(REGION_H2H, max(lotus.h2h.data.size, 1), 1)
     return layout
 
 
-def forward_trace(oriented: OrientedGraph) -> np.ndarray:
+def forward_layout(oriented: OrientedGraph) -> MemoryLayout:
+    """Address space of Algorithm 1: the oriented CSR neighbour array."""
+    layout = MemoryLayout()
+    layout.alloc(
+        REGION_INDICES, max(oriented.indices.size, 1), oriented.indices.dtype.itemsize
+    )
+    return layout
+
+
+def forward_trace(
+    oriented: OrientedGraph, layout: MemoryLayout | None = None
+) -> np.ndarray:
     """Cache-line trace of Algorithm 1's counting loop.
 
     Per vertex ``v``: stream ``N_v^<`` once, then for each ``u`` in it,
     read the merge-touched prefix of ``N_u^<`` (the random access the
     paper identifies as Forward's locality problem, Section 3.1).
     """
-    layout = MemoryLayout()
-    region = layout.alloc("indices", oriented.indices.size, oriented.indices.dtype.itemsize)
+    layout = layout or forward_layout(oriented)
+    region = layout[REGION_INDICES]
     indptr = oriented.indptr
     src = _oriented_arcs(indptr)
     dst = oriented.indices.astype(np.int64, copy=False)
@@ -197,8 +214,8 @@ def _phase1_pairs(lotus: LotusGraph) -> tuple[np.ndarray, np.ndarray]:
 def lotus_phase1_trace(lotus: LotusGraph, layout: MemoryLayout | None = None) -> np.ndarray:
     """Phase-1 (HHH & HHN) trace: stream HE rows, randomly probe H2H bits."""
     layout = layout or lotus_layout(lotus)
-    he_region = layout["he"]
-    h2h_region = layout["h2h"]
+    he_region = layout[REGION_HE]
+    h2h_region = layout[REGION_H2H]
     pair_indptr, bit_idx = _phase1_pairs(lotus)
     pair_lines = h2h_region.element_line(bit_idx >> 3, LINE_BYTES)
     s_starts, s_lens = _row_stream_segments(he_region, lotus.he.indptr)
@@ -211,8 +228,8 @@ def lotus_phase2_trace(lotus: LotusGraph, layout: MemoryLayout | None = None) ->
     """Phase-2 (HNN) trace: stream NHE rows and the vertex's own HE row;
     randomly read the merge-touched prefix of each neighbour's HE row."""
     layout = layout or lotus_layout(lotus)
-    he_region = layout["he"]
-    nhe_region = layout["nhe"]
+    he_region = layout[REGION_HE]
+    nhe_region = layout[REGION_NHE]
     nhe_indptr = lotus.nhe.indptr
     he_indptr = lotus.he.indptr
     src = _oriented_arcs(nhe_indptr)
@@ -230,7 +247,7 @@ def lotus_phase2_trace(lotus: LotusGraph, layout: MemoryLayout | None = None) ->
 def lotus_phase3_trace(lotus: LotusGraph, layout: MemoryLayout | None = None) -> np.ndarray:
     """Phase-3 (NNN) trace: Forward-style access pattern confined to NHE."""
     layout = layout or lotus_layout(lotus)
-    nhe_region = layout["nhe"]
+    nhe_region = layout[REGION_NHE]
     indptr = lotus.nhe.indptr
     src = _oriented_arcs(indptr)
     dst = lotus.nhe.indices.astype(np.int64, copy=False)

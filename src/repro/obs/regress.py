@@ -1,0 +1,189 @@
+"""Benchmark-trajectory regression gate.
+
+Compares two artifacts produced by :mod:`repro.obs.trajectory`
+(``scripts/bench_trajectory.py``) metric by metric and exits non-zero
+when any tracked metric *regresses* beyond its tolerance:
+
+* ``*.triangles`` — exact: any change is a correctness regression;
+* miss / access totals — relative: the candidate may not exceed the
+  baseline by more than ``--rel-tol`` (improvements always pass);
+* ``*_share`` attribution shares — absolute drift beyond
+  ``--share-tol`` in either direction (the locality *attribution* is a
+  claim of its own: misses silently migrating between regions is a
+  regression even when totals hold);
+* a tracked metric missing from the candidate is a regression (the
+  suite silently shrank); candidate-only metrics are informational.
+
+Usage::
+
+    python -m repro.obs.regress BASELINE [CANDIDATE] [--latest DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = [
+    "DEFAULT_REL_TOL",
+    "DEFAULT_SHARE_TOL",
+    "MetricDelta",
+    "load_artifact",
+    "compare_artifacts",
+    "regressions",
+    "format_deltas",
+    "main",
+]
+
+DEFAULT_REL_TOL = 0.02
+DEFAULT_SHARE_TOL = 0.02
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """Outcome of comparing one metric across the two artifacts."""
+
+    key: str
+    baseline: float | None
+    candidate: float | None
+    kind: str  # "exact" | "count" | "share" | "missing" | "new"
+    regressed: bool
+    reason: str = ""
+
+
+def load_artifact(path: str | pathlib.Path) -> dict[str, Any]:
+    artifact = json.loads(pathlib.Path(path).read_text())
+    if artifact.get("kind") != "bench-trajectory":
+        raise ValueError(f"{path}: not a bench-trajectory artifact")
+    if artifact.get("schema") != 1:
+        raise ValueError(f"{path}: unsupported schema {artifact.get('schema')!r}")
+    if not isinstance(artifact.get("metrics"), dict):
+        raise ValueError(f"{path}: missing metrics map")
+    return artifact
+
+
+def _metric_kind(key: str) -> str:
+    if key.endswith(".triangles"):
+        return "exact"
+    if key.endswith("_share"):
+        return "share"
+    return "count"
+
+
+def compare_artifacts(
+    baseline: dict[str, Any],
+    candidate: dict[str, Any],
+    rel_tol: float = DEFAULT_REL_TOL,
+    share_tol: float = DEFAULT_SHARE_TOL,
+) -> list[MetricDelta]:
+    """Per-metric comparison; see the module docstring for the rules."""
+    base_metrics: dict[str, float] = baseline["metrics"]
+    cand_metrics: dict[str, float] = candidate["metrics"]
+    deltas: list[MetricDelta] = []
+    for key, base_value in base_metrics.items():
+        if key not in cand_metrics:
+            deltas.append(
+                MetricDelta(key, base_value, None, "missing", True,
+                            "tracked metric missing from candidate")
+            )
+            continue
+        cand_value = cand_metrics[key]
+        kind = _metric_kind(key)
+        if kind == "exact":
+            regressed = cand_value != base_value
+            reason = "exact-match metric changed" if regressed else ""
+        elif kind == "share":
+            drift = abs(cand_value - base_value)
+            regressed = drift > share_tol
+            reason = f"attribution drift {drift:.4f} > {share_tol}" if regressed else ""
+        else:
+            limit = base_value * (1.0 + rel_tol)
+            regressed = cand_value > limit
+            reason = (
+                f"{cand_value:,.0f} > {base_value:,.0f} (+{rel_tol:.0%} tolerance)"
+                if regressed
+                else ""
+            )
+        deltas.append(MetricDelta(key, base_value, cand_value, kind, regressed, reason))
+    for key, cand_value in cand_metrics.items():
+        if key not in base_metrics:
+            deltas.append(MetricDelta(key, None, cand_value, "new", False,
+                                      "not in baseline (informational)"))
+    return deltas
+
+
+def regressions(deltas: list[MetricDelta]) -> list[MetricDelta]:
+    return [d for d in deltas if d.regressed]
+
+
+def format_deltas(deltas: list[MetricDelta], verbose: bool = False) -> str:
+    """Human-readable summary; regressions always listed, rest behind -v."""
+    bad = regressions(deltas)
+    lines = [
+        f"compared {sum(d.kind != 'new' for d in deltas)} tracked metrics: "
+        f"{len(bad)} regression(s)"
+    ]
+    for d in bad:
+        lines.append(
+            f"  REGRESSION {d.key}: {d.baseline} -> {d.candidate} ({d.reason})"
+        )
+    if verbose:
+        for d in deltas:
+            if not d.regressed and d.kind != "new":
+                lines.append(f"  ok {d.key}: {d.baseline} -> {d.candidate}")
+        for d in deltas:
+            if d.kind == "new":
+                lines.append(f"  new {d.key}: {d.candidate}")
+    return "\n".join(lines)
+
+
+def _latest_artifact(directory: pathlib.Path, exclude: pathlib.Path) -> pathlib.Path:
+    candidates = sorted(
+        p for p in directory.glob("BENCH_*.json")
+        if p.resolve() != exclude.resolve() and p.name != "BENCH_baseline.json"
+    )
+    if not candidates:
+        raise SystemExit(f"no BENCH_*.json candidates under {directory}")
+    return candidates[-1]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.regress",
+        description="compare two bench-trajectory artifacts and gate regressions",
+    )
+    parser.add_argument("baseline", help="committed baseline BENCH_*.json")
+    parser.add_argument("candidate", nargs="?",
+                        help="candidate artifact (or use --latest)")
+    parser.add_argument("--latest", metavar="DIR",
+                        help="pick the newest BENCH_<date>.json in DIR as candidate")
+    parser.add_argument("--rel-tol", type=float, default=DEFAULT_REL_TOL,
+                        help="relative tolerance for miss/access totals")
+    parser.add_argument("--share-tol", type=float, default=DEFAULT_SHARE_TOL,
+                        help="absolute tolerance for attribution shares")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="also list non-regressed metrics")
+    args = parser.parse_args(argv)
+    baseline_path = pathlib.Path(args.baseline)
+    if args.candidate:
+        candidate_path = pathlib.Path(args.candidate)
+    elif args.latest:
+        candidate_path = _latest_artifact(pathlib.Path(args.latest), baseline_path)
+    else:
+        parser.error("provide CANDIDATE or --latest DIR")
+    baseline = load_artifact(baseline_path)
+    candidate = load_artifact(candidate_path)
+    deltas = compare_artifacts(baseline, candidate,
+                               rel_tol=args.rel_tol, share_tol=args.share_tol)
+    print(f"baseline:  {baseline_path} (generated {baseline.get('generated')})")
+    print(f"candidate: {candidate_path} (generated {candidate.get('generated')})")
+    print(format_deltas(deltas, verbose=args.verbose))
+    return 1 if regressions(deltas) else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,133 @@
+"""Benchmark-trajectory artifacts: pinned measurements tracked over time.
+
+GraphChallenge-style methodology (arXiv:2003.09269): performance claims
+are only trustworthy when normalized, attributed measurements are
+recorded per change and compared against a baseline.  This module builds
+one ``BENCH_<date>.json`` artifact from a *pinned quick suite* — a fixed
+set of fig4/fig6-scale graphs replayed on every machine model — holding:
+
+* triangle counts per dataset (correctness canary, compared exactly);
+* simulated miss totals per dataset × machine × algorithm (deterministic
+  — the datasets are seeded generators and the replay is exact);
+* per-region LLC/DTLB miss shares from the attributed replay (the
+  locality claims themselves).
+
+Wall-clock timings are recorded under ``info`` and never compared — only
+the deterministic simulation metrics gate regressions
+(:mod:`repro.obs.regress`).  The artifact is written by
+``scripts/bench_trajectory.py``; the committed baseline lives in
+``benchmarks/trajectory/``.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import pathlib
+from typing import Any, Iterable
+
+__all__ = [
+    "TRAJECTORY_SCHEMA_VERSION",
+    "QUICK_SUITE",
+    "DEFAULT_SUITE",
+    "ALL_MACHINES",
+    "build_trajectory_artifact",
+    "write_trajectory_artifact",
+]
+
+TRAJECTORY_SCHEMA_VERSION = 1
+
+# Pinned suites: QUICK is what CI and the committed baseline use; the
+# default adds the two slower fig4/fig6 outliers (low-skew Friendster,
+# web-graph SK).  Changing either set invalidates the baseline — bump it
+# in the same commit.
+QUICK_SUITE: tuple[str, ...] = ("LJGrp", "Twtr10")
+DEFAULT_SUITE: tuple[str, ...] = ("LJGrp", "Twtr10", "Frndstr", "SK")
+ALL_MACHINES: tuple[str, ...] = ("SkyLakeX", "Haswell", "Epyc")
+
+
+def build_trajectory_artifact(
+    suite: Iterable[str] = DEFAULT_SUITE,
+    machines: Iterable[str] = ALL_MACHINES,
+    generated: str | None = None,
+) -> dict[str, Any]:
+    """Measure the pinned suite and return the artifact as a plain dict.
+
+    ``metrics`` is a flat ``key -> number`` map (the unit of comparison
+    for :mod:`repro.obs.regress`); ``info`` carries non-deterministic
+    context (timings) that is recorded but never gated.
+    """
+    # imported lazily: this module is reachable from `repro.obs` tooling
+    # and must not drag the full pipeline in at import time
+    from repro.core import build_lotus_graph, count_triangles_lotus
+    from repro.eval.experiments import cache_scale_for
+    from repro.graph import load_dataset
+    from repro.graph.reorder import apply_degree_ordering
+    from repro.memsim import (
+        MACHINES,
+        MemoryHierarchy,
+        REGION_OTHER,
+        forward_layout,
+        forward_trace,
+        lotus_trace,
+    )
+    from repro.memsim.trace import lotus_layout
+
+    suite = tuple(suite)
+    machines = tuple(machines)
+    metrics: dict[str, float] = {}
+    info: dict[str, Any] = {}
+    for name in suite:
+        graph = load_dataset(name)
+        result = count_triangles_lotus(graph)
+        metrics[f"{name}.triangles"] = int(result.triangles)
+        info[f"{name}.lotus_seconds"] = float(result.elapsed)
+        scale = cache_scale_for(name)
+        info[f"{name}.cache_scale"] = int(scale)
+        oriented = apply_degree_ordering(graph)[0].orient_lower()
+        lotus = build_lotus_graph(graph)
+        fwd_layout = forward_layout(oriented)
+        traces = (
+            ("forward", forward_trace(oriented, fwd_layout), fwd_layout),
+            ("lotus", lotus_trace(lotus), lotus_layout(lotus)),
+        )
+        for machine_name in machines:
+            machine = MACHINES[machine_name].scaled(scale)
+            for algorithm, trace, layout in traces:
+                hierarchy = MemoryHierarchy(machine)
+                attributed = hierarchy.access_lines_attributed(trace, layout)
+                totals = attributed.totals()
+                base = f"{name}.{machine_name}.{algorithm}"
+                metrics[f"{base}.accesses"] = totals.accesses
+                metrics[f"{base}.l1_misses"] = totals.l1_misses
+                metrics[f"{base}.l2_misses"] = totals.l2_misses
+                metrics[f"{base}.llc_misses"] = totals.llc_misses
+                metrics[f"{base}.dtlb_misses"] = totals.dtlb_misses
+                for level in ("llc", "dtlb"):
+                    for region, share in attributed.miss_shares(level).items():
+                        if region == REGION_OTHER:
+                            continue
+                        metrics[f"{base}.region.{region}.{level}_share"] = round(
+                            share, 6
+                        )
+    return {
+        "schema": TRAJECTORY_SCHEMA_VERSION,
+        "kind": "bench-trajectory",
+        "generated": generated or datetime.date.today().isoformat(),
+        "suite": list(suite),
+        "machines": list(machines),
+        "metrics": metrics,
+        "info": info,
+    }
+
+
+def write_trajectory_artifact(
+    artifact: dict[str, Any], out_dir: str | pathlib.Path, baseline: bool = False
+) -> pathlib.Path:
+    """Persist an artifact as ``BENCH_<date>.json`` (or ``BENCH_baseline.json``)."""
+    out_dir = pathlib.Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    stem = "baseline" if baseline else artifact["generated"]
+    path = out_dir / f"BENCH_{stem}.json"
+    path.write_text(json.dumps(artifact, indent=2, sort_keys=False) + "\n")
+    return path

@@ -88,6 +88,43 @@ class TestOtherCommands:
         assert "forward" in out and "lotus" in out and "LLC misses" in out
 
 
+class TestLocality:
+    def test_table_covers_both_algorithms_and_regions(self, edgelist_file, capsys):
+        assert main([
+            "locality", "--file", edgelist_file, "--scale", "64",
+        ]) == 0
+        out = capsys.readouterr().out
+        for token in ("forward", "lotus", "indices", "he", "nhe"):
+            assert token in out
+        assert "LLC" in out and "DTLB" in out
+
+    def test_json_region_counts_sum_to_totals(self, edgelist_file, capsys):
+        assert main([
+            "locality", "--file", edgelist_file, "--format", "json", "--scale", "64",
+        ]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema"] == 1
+        assert set(report["algorithms"]) == {"forward", "lotus"}
+        for payload in report["algorithms"].values():
+            totals = payload["totals"]
+            for key in ("accesses", "l1_misses", "llc_misses", "dtlb_misses"):
+                summed = sum(r["counts"][key] for r in payload["regions"].values())
+                assert summed == totals[key]
+
+    def test_single_algorithm_and_output_file(self, edgelist_file, tmp_path, capsys):
+        dest = tmp_path / "locality.json"
+        assert main([
+            "locality", "--file", edgelist_file, "--algorithm", "lotus",
+            "--format", "json", "--output", str(dest), "--scale", "64",
+        ]) == 0
+        assert "wrote json locality report" in capsys.readouterr().out
+        report = json.loads(dest.read_text())
+        assert list(report["algorithms"]) == ["lotus"]
+        assert set(report["algorithms"]["lotus"]["phases"]) == {
+            "hhh+hhn", "hnn", "nnn",
+        }
+
+
 class TestReport:
     def test_json_report_has_span_tree(self, edgelist_file, capsys):
         assert main(["report", "--file", edgelist_file]) == 0

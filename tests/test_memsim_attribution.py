@@ -1,0 +1,297 @@
+"""Attributed replay: per-region accounting, zero-access guards, overhead.
+
+The attribution contract: replaying a trace in attributed mode evolves
+the cache/TLB state *identically* to the plain replay, and the
+per-region counts sum exactly to the unattributed totals — no access is
+lost or double-counted.  The reuse-distance profiles must agree with the
+replay on fully-associative geometries (the LRU stack-distance
+equivalence), and the attributed mode's overhead over the plain replay
+is pinned.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import build_lotus_graph
+from repro.graph import load_dataset, powerlaw_chung_lu
+from repro.graph.reorder import apply_degree_ordering
+from repro.memsim import (
+    MACHINES,
+    AttributedStats,
+    MachineSpec,
+    MemoryHierarchy,
+    MemoryLayout,
+    REGION_H2H,
+    REGION_HE,
+    REGION_INDICES,
+    REGION_NHE,
+    REGION_OTHER,
+    forward_layout,
+    forward_trace,
+    lotus_phase1_trace,
+    lotus_phase2_trace,
+    lotus_phase3_trace,
+    lotus_trace,
+    reuse_distance_by_region,
+)
+from repro.memsim.trace import lotus_layout
+from repro.obs import MetricsRegistry, use_registry
+
+
+def _lotus_fixture(name="LJGrp"):
+    graph = load_dataset(name)
+    lotus = build_lotus_graph(graph)
+    layout = lotus_layout(lotus)
+    return lotus, layout
+
+
+def _forward_fixture(name="LJGrp"):
+    oriented = apply_degree_ordering(load_dataset(name))[0].orient_lower()
+    layout = forward_layout(oriented)
+    return forward_trace(oriented, layout), layout
+
+
+class TestRegionClassifier:
+    def test_lines_and_pages_map_to_owning_region(self):
+        layout = MemoryLayout()
+        a = layout.alloc("a", 1000, 8)
+        b = layout.alloc("b", 1000, 8)
+        c = layout.classifier()
+        lines = np.concatenate([
+            a.element_line(np.arange(10)),
+            b.element_line(np.arange(10)),
+        ])
+        rid = c.classify_lines(lines)
+        assert c.names == ("a", "b", REGION_OTHER)
+        assert (rid[:10] == 0).all() and (rid[10:] == 1).all()
+        pages = np.asarray(b.element_addr(np.arange(10))) // 4096
+        assert (c.classify_pages(pages) == 1).all()
+
+    def test_addresses_outside_all_regions_hit_other(self):
+        layout = MemoryLayout()
+        layout.alloc("a", 10, 8)
+        c = layout.classifier()
+        rid = c.classify_lines(np.array([0, 10**12]))
+        assert (rid == c.other_id).all()
+        assert c.names[c.other_id] == REGION_OTHER
+
+    def test_empty_layout_classifies_everything_as_other(self):
+        c = MemoryLayout().classifier()
+        assert (c.classify_lines(np.arange(5)) == c.other_id).all()
+
+
+class TestAttributedReplayExactness:
+    """Per-region counts must sum exactly to the unattributed totals."""
+
+    @pytest.mark.parametrize("machine_name", ["SkyLakeX", "Epyc"])
+    def test_lotus_attribution_sums_to_plain_replay(self, machine_name):
+        machine = MACHINES[machine_name].scaled(1024)
+        lotus, layout = _lotus_fixture()
+        trace = lotus_trace(lotus)
+        plain = MemoryHierarchy(machine)
+        plain.access_lines(trace)
+        attributed = MemoryHierarchy(machine)
+        att = attributed.access_lines_attributed(trace, layout)
+        assert attributed.stats() == plain.stats()
+        assert att.totals() == plain.stats()
+        assert set(att.regions) == {REGION_HE, REGION_NHE, REGION_H2H, REGION_OTHER}
+        assert att.regions[REGION_OTHER].accesses == 0
+
+    def test_forward_attribution_sums_to_plain_replay(self):
+        machine = MACHINES["SkyLakeX"].scaled(1024)
+        trace, layout = _forward_fixture()
+        plain = MemoryHierarchy(machine)
+        plain.access_lines(trace)
+        attributed = MemoryHierarchy(machine)
+        att = attributed.access_lines_attributed(trace, layout)
+        assert att.totals() == plain.stats()
+        assert att.regions[REGION_INDICES].accesses == plain.stats().accesses
+
+    def test_per_phase_deltas_sum_to_cumulative_stats(self):
+        machine = MACHINES["SkyLakeX"].scaled(1024)
+        lotus, layout = _lotus_fixture()
+        hierarchy = MemoryHierarchy(machine)
+        combined = AttributedStats({})
+        for phase in (lotus_phase1_trace, lotus_phase2_trace, lotus_phase3_trace):
+            combined = combined + hierarchy.access_lines_attributed(
+                phase(lotus, layout), layout
+            )
+        assert combined.totals() == hierarchy.stats()
+
+    def test_miss_shares_sum_to_one_when_misses_exist(self):
+        machine = MACHINES["SkyLakeX"].scaled(1024)
+        lotus, layout = _lotus_fixture()
+        att = MemoryHierarchy(machine).access_lines_attributed(
+            lotus_trace(lotus), layout
+        )
+        for level in ("l1", "l2", "llc", "dtlb"):
+            assert sum(att.miss_shares(level).values()) == pytest.approx(1.0)
+
+    def test_unknown_share_level_rejected(self):
+        assert AttributedStats({}).totals().accesses == 0
+        with pytest.raises(ValueError):
+            AttributedStats({}).miss_shares("l9")
+
+
+class TestZeroAccessGuards:
+    """Satellite: zero-access replays must export 0.0 rates, never NaN."""
+
+    def test_hierarchy_stats_rates_are_zero_not_nan(self):
+        h = MemoryHierarchy(MACHINES["SkyLakeX"].scaled(1024))
+        s = h.stats()
+        assert s.accesses == 0
+        for rate in (s.l1_hit_rate, s.l2_hit_rate, s.l3_hit_rate, s.dtlb_hit_rate):
+            assert rate == 0.0
+
+    def test_export_metrics_on_empty_replay_emits_zero_gauges(self):
+        h = MemoryHierarchy(MACHINES["SkyLakeX"].scaled(1024))
+        h.access_lines(np.empty(0, dtype=np.int64))
+        registry = MetricsRegistry()
+        h.export_metrics(registry, prefix="memsim.empty")
+        snap = registry.snapshot()
+        for label in ("l1", "l2", "l3", "dtlb"):
+            value = snap["gauges"][f"memsim.empty.{label}.hit_rate"]
+            assert value == 0.0 and value == value  # not NaN
+
+    def test_attributed_replay_of_empty_trace(self):
+        layout = MemoryLayout()
+        layout.alloc("a", 10, 8)
+        h = MemoryHierarchy(MACHINES["SkyLakeX"].scaled(1024))
+        att = h.access_lines_attributed(np.empty(0, dtype=np.int64), layout)
+        assert att.totals() == h.stats()
+        assert all(s.accesses == 0 for s in att.regions.values())
+        for level in ("l1", "llc", "dtlb"):
+            assert all(v == 0.0 for v in att.miss_shares(level).values())
+
+
+class TestSpanAndMetricsExport:
+    def test_export_nests_region_counters_and_span_attrs(self):
+        machine = MACHINES["SkyLakeX"].scaled(1024)
+        lotus, layout = _lotus_fixture()
+        with use_registry() as registry:
+            with registry.span("memsim:lotus"):
+                att = MemoryHierarchy(machine).access_lines_attributed(
+                    lotus_trace(lotus), layout
+                )
+                att.export_metrics(registry, prefix="memsim.lotus")
+        snap = registry.snapshot()
+        he = att.regions[REGION_HE]
+        assert snap["counters"][f"memsim.lotus.region.{REGION_HE}.llc.misses"] == he.llc_misses
+        assert snap["counters"][f"memsim.lotus.region.{REGION_HE}.llc.accesses"] == he.l2_misses
+        assert snap["counters"][f"memsim.lotus.region.{REGION_HE}.l1.accesses"] == he.accesses
+        span = registry.find_span("memsim:lotus")
+        assert span is not None
+        assert span.attrs[f"{REGION_HE}.llc_misses"] == he.llc_misses
+        assert span.attrs[f"{REGION_H2H}.dtlb_misses"] == att.regions[
+            REGION_H2H
+        ].dtlb_misses
+
+
+class TestReuseVsAttributedReplay:
+    """Satellite: per-region LRU predictions vs the simulated hierarchy.
+
+    On a fully-associative L1 (one set, ways == capacity) the LRU
+    stack-distance model is exact: an access hits iff its reuse distance
+    is below the capacity.  The attributed replay and the one-pass
+    per-region reuse profiles must therefore agree per region.
+    """
+
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_chung_lu_forward_per_region_agreement(self, seed):
+        graph = powerlaw_chung_lu(1500, 14.0, exponent=2.4, seed=seed)
+        oriented = apply_degree_ordering(graph)[0].orient_lower()
+        layout = forward_layout(oriented)
+        trace = forward_trace(oriented, layout)
+        capacity = 256
+        machine = MachineSpec(
+            name="fa-l1", cpu_model="synthetic", frequency_ghz=1.0,
+            sockets=1, cores=1,
+            l1_bytes=capacity * 64, l1_ways=capacity,
+            l2_bytes=0, l2_ways=0, l3_bytes_total=0, l3_ways=0,
+        )
+        classifier = layout.classifier()
+        profiles = reuse_distance_by_region(
+            trace, classifier.classify_lines(trace), classifier.names
+        )
+        att = MemoryHierarchy(machine).access_lines_attributed(trace, classifier)
+        for name, stats in att.regions.items():
+            if stats.accesses == 0:
+                continue
+            simulated = stats.l1_hit_rate
+            predicted = profiles.per_region[name].hit_rate(capacity)
+            assert simulated == pytest.approx(predicted, abs=1e-9)
+
+    def test_chung_lu_lotus_whole_cache_agreement(self):
+        graph = powerlaw_chung_lu(1200, 12.0, exponent=2.6, seed=7)
+        lotus = build_lotus_graph(graph)
+        layout = lotus_layout(lotus)
+        trace = lotus_trace(lotus)
+        capacity = 128
+        machine = MachineSpec(
+            name="fa-l1", cpu_model="synthetic", frequency_ghz=1.0,
+            sockets=1, cores=1,
+            l1_bytes=capacity * 64, l1_ways=capacity,
+            l2_bytes=0, l2_ways=0, l3_bytes_total=0, l3_ways=0,
+        )
+        classifier = layout.classifier()
+        profiles = reuse_distance_by_region(
+            trace, classifier.classify_lines(trace), classifier.names
+        )
+        att = MemoryHierarchy(machine).access_lines_attributed(trace, classifier)
+        for name in (REGION_HE, REGION_NHE, REGION_H2H):
+            stats = att.regions[name]
+            predicted = profiles.per_region[name].hit_rate(capacity)
+            assert stats.l1_hit_rate == pytest.approx(predicted, abs=1e-9)
+        overall = profiles.overall.hit_rate(capacity)
+        assert att.totals().l1_hit_rate == pytest.approx(overall, abs=1e-9)
+
+    def test_region_profiles_partition_the_overall_histogram(self):
+        layout = MemoryLayout()
+        a = layout.alloc("a", 64, 8)
+        b = layout.alloc("b", 64, 8)
+        rng = np.random.default_rng(0)
+        trace = np.concatenate([
+            np.asarray(a.element_line(rng.integers(0, 64, 500))),
+            np.asarray(b.element_line(rng.integers(0, 64, 500))),
+        ])
+        classifier = layout.classifier()
+        profiles = reuse_distance_by_region(
+            trace, classifier.classify_lines(trace), classifier.names
+        )
+        total = sum(p.total for p in profiles.per_region.values())
+        cold = sum(p.cold for p in profiles.per_region.values())
+        assert total == profiles.overall.total == trace.size
+        assert cold == profiles.overall.cold
+
+
+class TestAttributionOverhead:
+    def test_attributed_replay_overhead_is_bounded(self):
+        """Attribution may cost at most ATTRIBUTION_OVERHEAD_FACTOR x plain."""
+        ATTRIBUTION_OVERHEAD_FACTOR = 6.0
+        machine = MACHINES["SkyLakeX"].scaled(1024)
+        lotus, layout = _lotus_fixture("Twtr10")
+        trace = lotus_trace(lotus)
+        classifier = layout.classifier()
+
+        def best_of(fn, rounds=3):
+            samples = []
+            for _ in range(rounds):
+                start = time.perf_counter()
+                fn()
+                samples.append(time.perf_counter() - start)
+            return min(samples)
+
+        plain = best_of(lambda: MemoryHierarchy(machine).access_lines(trace))
+        attributed = best_of(
+            lambda: MemoryHierarchy(machine).access_lines_attributed(
+                trace, classifier
+            )
+        )
+        assert attributed <= ATTRIBUTION_OVERHEAD_FACTOR * plain, (
+            f"attributed replay {attributed:.3f}s vs plain {plain:.3f}s "
+            f"exceeds the pinned {ATTRIBUTION_OVERHEAD_FACTOR}x budget"
+        )

@@ -1,0 +1,234 @@
+"""Benchmark-trajectory artifacts and the regression gate.
+
+The gate's contract: identical runs pass, injected regressions (count
+growth beyond tolerance, attribution drift, a changed triangle count, a
+vanished metric) fail with exit code 1, and improvements pass.  The
+committed baseline must itself be a valid artifact for the quick suite.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import pathlib
+
+import pytest
+
+from repro.obs.regress import (
+    DEFAULT_REL_TOL,
+    DEFAULT_SHARE_TOL,
+    compare_artifacts,
+    format_deltas,
+    load_artifact,
+    main,
+    regressions,
+)
+from repro.obs.trajectory import (
+    ALL_MACHINES,
+    QUICK_SUITE,
+    build_trajectory_artifact,
+    write_trajectory_artifact,
+)
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+BASELINE = REPO / "benchmarks" / "trajectory" / "BENCH_baseline.json"
+
+
+def _artifact(metrics):
+    return {
+        "schema": 1,
+        "kind": "bench-trajectory",
+        "generated": "2026-01-01",
+        "suite": ["LJGrp"],
+        "machines": ["SkyLakeX"],
+        "metrics": metrics,
+        "info": {},
+    }
+
+
+_METRICS = {
+    "LJGrp.triangles": 177820,
+    "LJGrp.SkyLakeX.forward.llc_misses": 100000,
+    "LJGrp.SkyLakeX.forward.dtlb_misses": 5000,
+    "LJGrp.SkyLakeX.lotus.region.he.llc_share": 0.66,
+}
+
+
+class TestCompareArtifacts:
+    def test_identical_artifacts_have_no_regressions(self):
+        deltas = compare_artifacts(_artifact(_METRICS), _artifact(dict(_METRICS)))
+        assert regressions(deltas) == []
+        assert all(not d.regressed for d in deltas)
+
+    def test_count_growth_beyond_rel_tol_regresses(self):
+        cand = dict(_METRICS)
+        cand["LJGrp.SkyLakeX.forward.llc_misses"] = int(
+            _METRICS["LJGrp.SkyLakeX.forward.llc_misses"] * (1 + DEFAULT_REL_TOL) + 1
+        )
+        bad = regressions(compare_artifacts(_artifact(_METRICS), _artifact(cand)))
+        assert [d.key for d in bad] == ["LJGrp.SkyLakeX.forward.llc_misses"]
+        assert bad[0].kind == "count"
+
+    def test_count_growth_within_rel_tol_passes(self):
+        cand = dict(_METRICS)
+        cand["LJGrp.SkyLakeX.forward.llc_misses"] = int(100000 * 1.01)
+        assert regressions(compare_artifacts(_artifact(_METRICS), _artifact(cand))) == []
+
+    def test_improvement_always_passes(self):
+        cand = dict(_METRICS)
+        cand["LJGrp.SkyLakeX.forward.llc_misses"] = 50000  # halved: better
+        assert regressions(compare_artifacts(_artifact(_METRICS), _artifact(cand))) == []
+
+    def test_triangle_count_change_is_exact_regression(self):
+        cand = dict(_METRICS)
+        cand["LJGrp.triangles"] = _METRICS["LJGrp.triangles"] + 1
+        bad = regressions(compare_artifacts(_artifact(_METRICS), _artifact(cand)))
+        assert [d.key for d in bad] == ["LJGrp.triangles"]
+        assert bad[0].kind == "exact"
+
+    def test_share_drift_beyond_tol_regresses_both_directions(self):
+        for direction in (+1, -1):
+            cand = dict(_METRICS)
+            cand["LJGrp.SkyLakeX.lotus.region.he.llc_share"] = (
+                _METRICS["LJGrp.SkyLakeX.lotus.region.he.llc_share"]
+                + direction * (DEFAULT_SHARE_TOL + 0.001)
+            )
+            bad = regressions(compare_artifacts(_artifact(_METRICS), _artifact(cand)))
+            assert [d.kind for d in bad] == ["share"]
+
+    def test_share_drift_within_tol_passes(self):
+        cand = dict(_METRICS)
+        cand["LJGrp.SkyLakeX.lotus.region.he.llc_share"] = 0.66 + DEFAULT_SHARE_TOL / 2
+        assert regressions(compare_artifacts(_artifact(_METRICS), _artifact(cand))) == []
+
+    def test_missing_tracked_metric_is_a_regression(self):
+        cand = dict(_METRICS)
+        del cand["LJGrp.SkyLakeX.forward.dtlb_misses"]
+        bad = regressions(compare_artifacts(_artifact(_METRICS), _artifact(cand)))
+        assert [d.kind for d in bad] == ["missing"]
+
+    def test_candidate_only_metric_is_informational(self):
+        cand = dict(_METRICS)
+        cand["LJGrp.Haswell.forward.llc_misses"] = 1
+        deltas = compare_artifacts(_artifact(_METRICS), _artifact(cand))
+        assert regressions(deltas) == []
+        assert [d.kind for d in deltas if d.key.startswith("LJGrp.Haswell")] == ["new"]
+
+    def test_format_deltas_counts_tracked_metrics_only(self):
+        cand = dict(_METRICS)
+        cand["extra.metric"] = 1
+        deltas = compare_artifacts(_artifact(_METRICS), _artifact(cand))
+        text = format_deltas(deltas, verbose=True)
+        assert f"compared {len(_METRICS)} tracked metrics: 0 regression(s)" in text
+        assert "new extra.metric" in text
+
+
+class TestLoadArtifact:
+    def test_rejects_wrong_kind_and_schema(self, tmp_path):
+        bad_kind = _artifact(_METRICS) | {"kind": "other"}
+        bad_schema = _artifact(_METRICS) | {"schema": 99}
+        for payload in (bad_kind, bad_schema):
+            path = tmp_path / "bad.json"
+            path.write_text(json.dumps(payload))
+            with pytest.raises(ValueError):
+                load_artifact(path)
+
+    def test_rejects_missing_metrics_map(self, tmp_path):
+        payload = _artifact(_METRICS)
+        payload["metrics"] = None
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError):
+            load_artifact(path)
+
+
+class TestMainExitCodes:
+    """The CLI gate: exit 0 on clean runs, 1 on injected regressions."""
+
+    def _write(self, tmp_path, name, artifact):
+        path = tmp_path / name
+        path.write_text(json.dumps(artifact))
+        return str(path)
+
+    def test_exit_zero_on_identical_artifacts(self, tmp_path, capsys):
+        base = self._write(tmp_path, "BENCH_baseline.json", _artifact(_METRICS))
+        cand = self._write(tmp_path, "BENCH_2026-01-02.json", _artifact(dict(_METRICS)))
+        assert main([base, cand]) == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_exit_nonzero_on_injected_regression(self, tmp_path, capsys):
+        injected = dict(_METRICS)
+        injected["LJGrp.SkyLakeX.forward.llc_misses"] = 200000
+        injected["LJGrp.triangles"] = 1
+        base = self._write(tmp_path, "BENCH_baseline.json", _artifact(_METRICS))
+        cand = self._write(tmp_path, "BENCH_2026-01-02.json", _artifact(injected))
+        assert main([base, cand]) == 1
+        out = capsys.readouterr().out
+        assert "2 regression(s)" in out
+        assert "REGRESSION LJGrp.triangles" in out
+
+    def test_latest_skips_the_baseline_file(self, tmp_path):
+        base = self._write(tmp_path, "BENCH_baseline.json", _artifact(_METRICS))
+        self._write(tmp_path, "BENCH_2026-01-02.json", _artifact(dict(_METRICS)))
+        injected = dict(_METRICS)
+        injected["LJGrp.triangles"] = 0
+        self._write(tmp_path, "BENCH_2026-01-05.json", _artifact(injected))
+        # newest dated artifact (not the baseline) must be picked: it regresses
+        assert main([base, "--latest", str(tmp_path)]) == 1
+
+    def test_latest_with_no_candidates_exits_with_error(self, tmp_path):
+        base = self._write(tmp_path, "BENCH_baseline.json", _artifact(_METRICS))
+        with pytest.raises(SystemExit):
+            main([base, "--latest", str(tmp_path)])
+
+    def test_rel_tol_flag_overrides_default(self, tmp_path):
+        cand_metrics = dict(_METRICS)
+        cand_metrics["LJGrp.SkyLakeX.forward.llc_misses"] = int(100000 * 1.05)
+        base = self._write(tmp_path, "BENCH_baseline.json", _artifact(_METRICS))
+        cand = self._write(tmp_path, "BENCH_2026-01-02.json", _artifact(cand_metrics))
+        assert main([base, cand]) == 1
+        assert main([base, cand, "--rel-tol", "0.10"]) == 0
+
+
+class TestTrajectoryArtifact:
+    def test_build_and_round_trip_tiny_suite(self, tmp_path):
+        artifact = build_trajectory_artifact(
+            suite=("LJGrp",), machines=("SkyLakeX",), generated="2026-01-01"
+        )
+        assert artifact["kind"] == "bench-trajectory"
+        assert artifact["schema"] == 1
+        metrics = artifact["metrics"]
+        assert metrics["LJGrp.triangles"] > 0
+        for algorithm in ("forward", "lotus"):
+            assert metrics[f"LJGrp.SkyLakeX.{algorithm}.llc_misses"] > 0
+        # lotus shares present for the named regions, none for "other"
+        share_keys = [k for k in metrics if k.endswith("_share")]
+        assert any(".lotus.region.he." in k for k in share_keys)
+        assert not any(".region.other." in k for k in share_keys)
+        path = write_trajectory_artifact(artifact, tmp_path)
+        assert path.name == "BENCH_2026-01-01.json"
+        assert load_artifact(path)["metrics"] == metrics
+        # the same build twice is bit-identical: the gate sees no diffs
+        again = build_trajectory_artifact(
+            suite=("LJGrp",), machines=("SkyLakeX",), generated="2026-01-01"
+        )
+        assert regressions(compare_artifacts(artifact, again)) == []
+
+    def test_baseline_naming(self, tmp_path):
+        artifact = _artifact(_METRICS)
+        path = write_trajectory_artifact(artifact, tmp_path, baseline=True)
+        assert path.name == "BENCH_baseline.json"
+
+
+class TestCommittedBaseline:
+    """The repository must ship a loadable, current-format baseline."""
+
+    def test_baseline_exists_and_loads(self):
+        artifact = load_artifact(BASELINE)
+        assert artifact["suite"] == list(QUICK_SUITE)
+        assert artifact["machines"] == list(ALL_MACHINES)
+        assert len(artifact["metrics"]) > 0
+
+    def test_baseline_self_compare_is_clean(self):
+        artifact = load_artifact(BASELINE)
+        assert regressions(compare_artifacts(artifact, copy.deepcopy(artifact))) == []
