@@ -11,6 +11,11 @@ counters, gauges, histograms) captured while the experiment ran — see
 
 Set ``REPRO_BENCH_FAST=1`` to run every experiment on a reduced dataset
 suite (useful for smoke-testing the harness).
+
+Every benchmark run also appends one provenance-stamped record to the
+run ledger (``runs/`` at the repo root, or ``$REPRO_LEDGER_DIR``), so
+historical benchmark runs can be compared with ``repro.cli runs diff``
+— see ``docs/runs.md``.
 """
 
 from __future__ import annotations
@@ -20,9 +25,14 @@ import pathlib
 
 import pytest
 
+from repro.eval.harness import record_experiment_run
 from repro.obs import build_report, report_to_json, use_registry
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+LEDGER_DIR = pathlib.Path(
+    os.environ.get("REPRO_LEDGER_DIR", "")
+    or pathlib.Path(__file__).parents[1] / "runs"
+)
 
 FAST = os.environ.get("REPRO_BENCH_FAST", "") == "1"
 FAST_SUITE = ("LJGrp", "Twtr10", "Frndstr", "SK")
@@ -33,8 +43,8 @@ def write_experiment_artifacts(result, registry, results_dir=RESULTS_DIR):
 
     Shared by every ``bench_fig*.py`` / ``bench_table*.py`` (via
     :func:`run_experiment`) so each benchmark always leaves a structured
-    observability artifact next to its rendered table.  Returns the
-    rendered text.
+    observability artifact next to its rendered table, plus one run
+    record in the ledger.  Returns the rendered text.
     """
     results_dir.mkdir(exist_ok=True)
     text = result.render()
@@ -45,6 +55,9 @@ def write_experiment_artifacts(result, registry, results_dir=RESULTS_DIR):
     payload = {"experiment": result.to_dict(), "observability": obs_report}
     (results_dir / f"{result.experiment_id}.json").write_text(
         report_to_json(payload) + "\n"
+    )
+    record_experiment_run(
+        result, registry, ledger_dir=LEDGER_DIR, extra_config={"fast": FAST}
     )
     return text
 

@@ -11,6 +11,12 @@ shares on every machine model) is the unit the regression gate compares:
 ``--baseline`` rewrites the committed baseline instead (do this in the
 same commit as any intentional change to the tracked metrics).
 See ``repro/obs/trajectory.py`` for the schema and suite definitions.
+
+Each invocation also appends a provenance-stamped run record embedding
+the full artifact to the run ledger (``--ledger DIR``, default
+``runs/``; ``--no-ledger`` skips), so the regression gate can compare a
+candidate against any historical measurement via
+``repro.obs.regress --against-run`` (see ``docs/runs.md``).
 """
 
 from __future__ import annotations
@@ -45,6 +51,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="write BENCH_baseline.json (the committed gate)")
     parser.add_argument("--machines", nargs="+", default=list(ALL_MACHINES),
                         choices=list(ALL_MACHINES), help="machine models to replay")
+    parser.add_argument("--ledger", metavar="DIR", default=None,
+                        help="run-ledger directory (default: runs/ at the "
+                             "repo root)")
+    parser.add_argument("--no-ledger", action="store_true",
+                        help="do not append a run record to the ledger")
     args = parser.parse_args(argv)
     suite = QUICK_SUITE if args.quick else DEFAULT_SUITE
     started = time.perf_counter()
@@ -55,6 +66,28 @@ def main(argv: list[str] | None = None) -> int:
     elapsed = time.perf_counter() - started
     print(f"wrote {path} ({len(artifact['metrics'])} tracked metrics, "
           f"{elapsed:.1f}s)")
+    if not args.no_ledger:
+        from repro.obs.ledger import Ledger, build_run_record
+
+        record = build_run_record(
+            None,
+            command="bench_trajectory"
+                    + (" --quick" if args.quick else "")
+                    + (" --baseline" if args.baseline else ""),
+            config={
+                "command": "bench_trajectory",
+                "suite": list(suite),
+                "machines": list(args.machines),
+                "baseline": bool(args.baseline),
+            },
+            meta={"artifact_path": str(path), "elapsed": elapsed},
+            artifact=artifact,
+        )
+        ledger = Ledger(
+            args.ledger or pathlib.Path(__file__).resolve().parents[1] / "runs"
+        )
+        run_id = ledger.append(record)
+        print(f"recorded run {run_id} -> {ledger.path}")
     return 0
 
 

@@ -15,12 +15,23 @@ Commands:
 * ``locality``    — per-region attribution report: which structure
   (``he``/``nhe``/``h2h``/``indices``) causes which L1/L2/LLC/DTLB
   misses, with per-region reuse-distance percentiles (see
-  ``docs/observability.md``).
+  ``docs/observability.md``);
+* ``runs``        — the run ledger: ``list`` / ``show`` / ``diff`` /
+  ``export`` over provenance-stamped run records appended by traced
+  runs (``count --trace``, ``report --ledger``, the benchmark harness;
+  see ``docs/runs.md``).  ``diff`` applies the same tolerance logic as
+  ``repro.obs.regress``; ``export --format trace`` emits Chrome
+  ``trace_event`` JSON loadable in Perfetto.
+
+Input errors (missing files, malformed artifacts, unresolvable run
+references) print a one-line ``error: ...`` and exit with status 2.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 
 from repro.core import LotusConfig, count_triangles_lotus, hub_characteristics
@@ -33,6 +44,14 @@ from repro.obs import (
     report_to_json,
     spans_from_report,
     use_registry,
+)
+from repro.obs.ledger import (
+    DEFAULT_LEDGER_DIR,
+    Ledger,
+    LedgerError,
+    build_run_record,
+    diff_runs,
+    format_run_diff,
 )
 from repro.tc import (
     count_triangles_edge_iterator,
@@ -57,13 +76,28 @@ ALGORITHMS = {
 }
 
 
+def _fail(message: str) -> "SystemExit":
+    """One-line diagnostic on stderr, exit status 2 (usage/input error)."""
+    print(f"error: {message}", file=sys.stderr)
+    raise SystemExit(2)
+
+
 def _load_graph(args: argparse.Namespace):
     if args.dataset:
+        if args.dataset not in DATASETS:
+            _fail(f"unknown dataset {args.dataset!r}; see `repro datasets`")
         return load_dataset(args.dataset)
     if args.file:
-        if args.file.endswith(".npz"):
-            return load_npz(args.file)
-        return load_edgelist(args.file)
+        if not os.path.exists(args.file):
+            _fail(f"no such file: {args.file}")
+        try:
+            if args.file.endswith(".npz"):
+                return load_npz(args.file)
+            return load_edgelist(args.file)
+        except SystemExit:
+            raise
+        except Exception as exc:  # malformed edge list / npz payload
+            _fail(f"cannot load graph from {args.file}: {exc}")
     raise SystemExit("specify --dataset NAME or --file PATH")
 
 
@@ -72,10 +106,37 @@ def _add_graph_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--file", help="edge-list (.txt) or CSR (.npz) file")
 
 
+def _record_run(
+    registry,
+    args: argparse.Namespace,
+    graph,
+    command: str,
+    config: dict,
+    meta: dict,
+) -> str:
+    """Append one provenance-stamped record to the run ledger."""
+    record = build_run_record(
+        registry,
+        command=command,
+        config=config,
+        graph=graph,
+        dataset_name=args.dataset,
+        meta=meta,
+    )
+    ledger = Ledger(args.ledger)
+    run_id = ledger.append(record)
+    print(f"recorded run {run_id} -> {ledger.path}")
+    return run_id
+
+
 def cmd_count(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
     algorithm = ALGORITHMS[args.algorithm]
-    result = algorithm(graph, args.hub_count)
+    if args.trace:
+        with use_registry() as registry:
+            result = algorithm(graph, args.hub_count)
+    else:
+        result = algorithm(graph, args.hub_count)
     print(f"graph: {graph}")
     print(f"algorithm: {result.algorithm}")
     print(f"triangles: {result.triangles:,}")
@@ -88,6 +149,26 @@ def cmd_count(args: argparse.Namespace) -> int:
             f"types: HHH={counts.hhh:,} HHN={counts.hhn:,} "
             f"HNN={counts.hnn:,} NNN={counts.nnn:,} "
             f"(hub share {counts.hub_fraction():.1%})"
+        )
+    if args.trace:
+        _record_run(
+            registry,
+            args,
+            graph,
+            command="count",
+            config={
+                "command": "count",
+                "algorithm": args.algorithm,
+                "dataset": args.dataset,
+                "file": args.file,
+                "hub_count": args.hub_count,
+            },
+            meta={
+                "algorithm": result.algorithm,
+                "triangles": int(result.triangles),
+                "elapsed": float(result.elapsed),
+                "phases": dict(result.phases),
+            },
         )
     return 0
 
@@ -136,6 +217,24 @@ def cmd_report(args: argparse.Namespace) -> int:
         print(f"wrote {args.format} report to {args.output}")
     else:
         print(text)
+    if args.ledger:
+        _record_run(
+            registry,
+            args,
+            graph,
+            command="report",
+            config={
+                "command": "report",
+                "algorithm": args.algorithm,
+                "dataset": args.dataset,
+                "file": args.file,
+                "hub_count": args.hub_count,
+                "memsim": bool(args.memsim),
+                "machine": args.machine if args.memsim else None,
+                "scale": args.scale if args.memsim else None,
+            },
+            meta=meta,
+        )
     return 0
 
 
@@ -251,6 +350,103 @@ def cmd_locality(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_ledger(args: argparse.Namespace) -> Ledger:
+    ledger = Ledger(args.ledger)
+    if not ledger.path.exists():
+        _fail(f"no ledger at {ledger.path} (record a run with `count --trace`)")
+    return ledger
+
+
+def _resolve_run(ledger: Ledger, ref: str) -> dict:
+    try:
+        return ledger.get(ref)
+    except LedgerError as exc:
+        _fail(str(exc))
+
+
+def cmd_runs_list(args: argparse.Namespace) -> int:
+    ledger = _open_ledger(args)
+    try:
+        entries = ledger.entries()
+    except LedgerError as exc:
+        _fail(str(exc))
+    print(f"{'run_id':<28} {'created':<21} {'config':<24} "
+          f"{'dataset':<10} {'triangles':>12}  command")
+    for e in entries:
+        triangles = "-" if e.get("triangles") is None else f"{e['triangles']:,}"
+        print(f"{e['run_id']:<28} {e.get('created') or '-':<21} "
+              f"{e.get('config_hash') or '-':<24} "
+              f"{str(e.get('dataset') or '-'):<10} {triangles:>12}  "
+              f"{e.get('command') or '-'}")
+    print(f"{len(entries)} run(s) in {ledger.path}")
+    return 0
+
+
+def cmd_runs_show(args: argparse.Namespace) -> int:
+    from repro.obs import Span
+
+    record = _resolve_run(_open_ledger(args), args.run)
+    if args.format == "json":
+        print(json.dumps(record, indent=2))
+        return 0
+    prov = record.get("provenance", {})
+    dataset = record.get("dataset", {})
+    print(f"run:      {record['run_id']}")
+    print(f"created:  {record.get('created')}")
+    print(f"command:  {record.get('command')}")
+    print(f"config:   {record.get('config_hash')}  {record.get('config')}")
+    print(f"dataset:  {dataset.get('name')}  edge_hash={dataset.get('edge_hash')}  "
+          f"|V|={dataset.get('num_vertices')} |E|={dataset.get('num_edges')}")
+    print(f"seed:     {record.get('seed')}")
+    print(f"git:      {prov.get('git_sha')}"
+          f"{' (dirty)' if prov.get('git_dirty') else ''}")
+    print(f"host:     {prov.get('hostname')}  python {prov.get('python')}  "
+          f"numpy {prov.get('numpy')}")
+    meta = record.get("meta", {})
+    if meta:
+        print(f"meta:     {json.dumps(meta, default=str)}")
+    for root in record.get("spans", []):
+        print(render_span_tree(Span.from_dict(root)))
+    metrics = record.get("metrics", {})
+    for name, value in metrics.get("counters", {}).items():
+        print(f"counter   {name:<28} {value:,}")
+    for name, value in metrics.get("gauges", {}).items():
+        print(f"gauge     {name:<28} {value:.4f}")
+    for name, snap in metrics.get("histograms", {}).items():
+        print(f"histogram {name:<28} count={snap['count']} sum={snap['sum']:.6g}")
+    return 0
+
+
+def cmd_runs_diff(args: argparse.Namespace) -> int:
+    from repro.obs.regress import regressions
+
+    ledger = _open_ledger(args)
+    rec_a = _resolve_run(ledger, args.run_a)
+    rec_b = _resolve_run(ledger, args.run_b)
+    diff = diff_runs(rec_a, rec_b, rel_tol=args.rel_tol, share_tol=args.share_tol)
+    print(format_run_diff(diff, verbose=args.verbose))
+    return 1 if regressions(diff["metrics"]) else 0
+
+
+def cmd_runs_export(args: argparse.Namespace) -> int:
+    from repro.obs import trace_from_record
+
+    record = _resolve_run(_open_ledger(args), args.run)
+    if args.format == "trace":
+        if not record.get("spans"):
+            _fail(f"run {record['run_id']} recorded no spans; nothing to export")
+        text = json.dumps(trace_from_record(record), indent=1)
+    else:  # record: the raw run record as one JSON document
+        text = json.dumps(record, indent=2)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.format} export of {record['run_id']} to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="LOTUS triangle counting reproduction"
@@ -261,6 +457,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_graph_args(p)
     p.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="lotus")
     p.add_argument("--hub-count", type=int, default=None)
+    p.add_argument("--trace", action="store_true",
+                   help="run under the obs registry and append a "
+                        "provenance-stamped record to the run ledger")
+    p.add_argument("--ledger", metavar="DIR", default=DEFAULT_LEDGER_DIR,
+                   help="run-ledger directory for --trace (default: runs/)")
     p.set_defaults(fn=cmd_count)
 
     p = sub.add_parser(
@@ -277,6 +478,8 @@ def build_parser() -> argparse.ArgumentParser:
                    default="SkyLakeX")
     p.add_argument("--scale", type=int, default=1024,
                    help="cache capacity scale factor (DESIGN.md §1)")
+    p.add_argument("--ledger", metavar="DIR", default=None,
+                   help="also append the run to this run-ledger directory")
     p.set_defaults(fn=cmd_report)
 
     p = sub.add_parser("analyze", help="hub analytics (Table 1 style)")
@@ -314,12 +517,59 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--reuse-limit", type=int, default=200_000,
                    help="trace prefix length for reuse-distance profiling")
     p.set_defaults(fn=cmd_locality)
+
+    p = sub.add_parser(
+        "runs", help="run ledger: list / show / diff / export recorded runs"
+    )
+    runs_sub = p.add_subparsers(dest="runs_command", required=True)
+
+    def _add_ledger_arg(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument("--ledger", metavar="DIR", default=DEFAULT_LEDGER_DIR,
+                        help="run-ledger directory (default: runs/)")
+
+    sp = runs_sub.add_parser("list", help="list recorded runs")
+    _add_ledger_arg(sp)
+    sp.set_defaults(fn=cmd_runs_list)
+
+    sp = runs_sub.add_parser("show", help="show one run record")
+    sp.add_argument("run", help="run id, unique prefix, latest, or latest~N")
+    sp.add_argument("--format", choices=("summary", "json"), default="summary")
+    _add_ledger_arg(sp)
+    sp.set_defaults(fn=cmd_runs_show)
+
+    sp = runs_sub.add_parser(
+        "diff", help="aligned per-metric / per-span deltas between two runs"
+    )
+    sp.add_argument("run_a", help="baseline run reference")
+    sp.add_argument("run_b", help="candidate run reference")
+    sp.add_argument("--rel-tol", type=float, default=None,
+                    help="relative tolerance for count metrics "
+                         "(default: repro.obs.regress default)")
+    sp.add_argument("--share-tol", type=float, default=None,
+                    help="absolute tolerance for shares/gauges")
+    sp.add_argument("-v", "--verbose", action="store_true",
+                    help="also list non-regressed metrics")
+    _add_ledger_arg(sp)
+    sp.set_defaults(fn=cmd_runs_diff)
+
+    sp = runs_sub.add_parser(
+        "export", help="export one run (Chrome trace_event JSON or raw record)"
+    )
+    sp.add_argument("run", help="run id, unique prefix, latest, or latest~N")
+    sp.add_argument("--format", choices=("trace", "record"), default="trace")
+    sp.add_argument("--output", help="write here instead of stdout")
+    _add_ledger_arg(sp)
+    sp.set_defaults(fn=cmd_runs_export)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except LedgerError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

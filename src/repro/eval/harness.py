@@ -7,7 +7,12 @@ import os
 from dataclasses import dataclass, field
 from typing import Any
 
-__all__ = ["ExperimentResult", "format_table", "save_results"]
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "record_experiment_run",
+    "save_results",
+]
 
 
 @dataclass
@@ -86,3 +91,38 @@ def save_results(results: list[ExperimentResult], path: str | os.PathLike) -> No
     """Dump experiment results as JSON for EXPERIMENTS.md regeneration."""
     with open(path, "w", encoding="utf-8") as fh:
         json.dump([r.to_dict() for r in results], fh, indent=2)
+
+
+def record_experiment_run(
+    result: ExperimentResult,
+    registry: Any = None,
+    ledger_dir: str | os.PathLike | None = None,
+    extra_config: dict[str, Any] | None = None,
+) -> str:
+    """Append one experiment run to the run ledger; returns the run id.
+
+    The provenance-stamped record carries the experiment id/title as
+    config (so identical reruns share a ``config_hash``) plus the full
+    metric snapshot and span trees of ``registry`` — the benchmark
+    harness calls this for every regenerated table/figure so any two
+    historical runs can be diffed with ``repro.cli runs diff``.
+    """
+    from repro.obs.ledger import DEFAULT_LEDGER_DIR, Ledger, build_run_record
+
+    config: dict[str, Any] = {
+        "command": "experiment",
+        "experiment_id": result.experiment_id,
+    }
+    if extra_config:
+        config.update(extra_config)
+    record = build_run_record(
+        registry,
+        command=f"experiment {result.experiment_id}",
+        config=config,
+        meta={
+            "experiment_id": result.experiment_id,
+            "title": result.title,
+            "rows": len(result.rows),
+        },
+    )
+    return Ledger(ledger_dir or DEFAULT_LEDGER_DIR).append(record)

@@ -33,7 +33,24 @@ from repro.obs.registry import (
     set_registry,
     use_registry,
 )
-from repro.obs.spans import NULL_SPAN, Span
+from repro.obs.spans import NULL_SPAN, Span, clock
+from repro.obs.ledger import (
+    DEFAULT_LEDGER_DIR,
+    Ledger,
+    LedgerError,
+    build_run_record,
+    config_hash,
+    dataset_fingerprint,
+    diff_runs,
+    format_run_diff,
+)
+from repro.obs.traceexport import (
+    build_trace,
+    spans_from_trace,
+    trace_from_record,
+    trace_from_report,
+    write_trace,
+)
 from repro.obs.report import (
     SCHEMA_VERSION,
     build_report,
@@ -65,6 +82,20 @@ __all__ = [
     "use_registry",
     "Span",
     "NULL_SPAN",
+    "clock",
+    "DEFAULT_LEDGER_DIR",
+    "Ledger",
+    "LedgerError",
+    "build_run_record",
+    "config_hash",
+    "dataset_fingerprint",
+    "diff_runs",
+    "format_run_diff",
+    "build_trace",
+    "spans_from_trace",
+    "trace_from_record",
+    "trace_from_report",
+    "write_trace",
     "SCHEMA_VERSION",
     "build_report",
     "render_span_tree",

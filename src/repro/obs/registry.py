@@ -238,8 +238,19 @@ class MetricsRegistry:
 
     def _pop_span(self, span: Span) -> None:
         stack = getattr(self._tls, "stack", None)
-        if stack and stack[-1] is span:
+        if not stack:
+            return
+        if stack[-1] is span:
             stack.pop()
+            return
+        # the span is buried: contexts opened above it were abandoned
+        # without exiting (e.g. a generator holding a span was dropped
+        # mid-iteration).  Unwind through the orphans so they cannot
+        # corrupt the parentage of later spans.
+        for idx in range(len(stack) - 1, -1, -1):
+            if stack[idx] is span:
+                del stack[idx:]
+                return
 
     def _attach_span(self, span: Span, parent: Span | None) -> None:
         if parent is not None and parent is not NULL_SPAN:

@@ -14,24 +14,32 @@ when any tracked metric *regresses* beyond its tolerance:
 * a tracked metric missing from the candidate is a regression (the
   suite silently shrank); candidate-only metrics are informational.
 
+The baseline may come from a committed ``BENCH_*.json`` file or — with
+``--against-run`` — from any entry of the run ledger
+(:mod:`repro.obs.ledger`), so the perf gate can compare a candidate
+against any recorded run, not just the single committed baseline.
+
 Usage::
 
     python -m repro.obs.regress BASELINE [CANDIDATE] [--latest DIR]
+    python -m repro.obs.regress --against-run latest~1 [CANDIDATE] [--latest DIR]
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Callable
 
 __all__ = [
     "DEFAULT_REL_TOL",
     "DEFAULT_SHARE_TOL",
     "MetricDelta",
+    "artifact_from_record",
     "load_artifact",
     "compare_artifacts",
     "regressions",
@@ -74,13 +82,42 @@ def _metric_kind(key: str) -> str:
     return "count"
 
 
+def artifact_from_record(record: dict[str, Any]) -> dict[str, Any]:
+    """Baseline view of a ledger run record.
+
+    A record written by ``scripts/bench_trajectory.py`` embeds the full
+    bench-trajectory artifact — use it verbatim.  Any other record is
+    projected onto the flat metric space via
+    :func:`repro.obs.ledger.flatten_record_metrics` (comparable against
+    another record's projection, not against a trajectory artifact).
+    """
+    artifact = record.get("artifact")
+    if isinstance(artifact, dict) and isinstance(artifact.get("metrics"), dict):
+        return artifact
+    from repro.obs.ledger import flatten_record_metrics
+
+    return {
+        "kind": "run-record-projection",
+        "generated": record.get("created"),
+        "metrics": flatten_record_metrics(record),
+    }
+
+
 def compare_artifacts(
     baseline: dict[str, Any],
     candidate: dict[str, Any],
     rel_tol: float = DEFAULT_REL_TOL,
     share_tol: float = DEFAULT_SHARE_TOL,
+    kind_fn: Callable[[str], str] = _metric_kind,
 ) -> list[MetricDelta]:
-    """Per-metric comparison; see the module docstring for the rules."""
+    """Per-metric comparison; see the module docstring for the rules.
+
+    ``kind_fn`` maps a metric key to its tolerance class (``exact`` /
+    ``share`` / ``count`` / ``timing``); the default is the trajectory
+    map, and the run ledger passes its own
+    (:func:`repro.obs.ledger.ledger_metric_kind`).  ``timing`` metrics
+    are reported but never regress — wall-clock is not gated.
+    """
     base_metrics: dict[str, float] = baseline["metrics"]
     cand_metrics: dict[str, float] = candidate["metrics"]
     deltas: list[MetricDelta] = []
@@ -92,7 +129,7 @@ def compare_artifacts(
             )
             continue
         cand_value = cand_metrics[key]
-        kind = _metric_kind(key)
+        kind = kind_fn(key)
         if kind == "exact":
             regressed = cand_value != base_value
             reason = "exact-match metric changed" if regressed else ""
@@ -100,6 +137,9 @@ def compare_artifacts(
             drift = abs(cand_value - base_value)
             regressed = drift > share_tol
             reason = f"attribution drift {drift:.4f} > {share_tol}" if regressed else ""
+        elif kind == "timing":
+            regressed = False
+            reason = ""
         else:
             limit = base_value * (1.0 + rel_tol)
             regressed = cand_value > limit
@@ -151,14 +191,30 @@ def _latest_artifact(directory: pathlib.Path, exclude: pathlib.Path) -> pathlib.
     return candidates[-1]
 
 
+def _load_artifact_or_record(path: pathlib.Path) -> dict[str, Any]:
+    """Load a comparison side: a BENCH artifact or a saved run record."""
+    data = json.loads(pathlib.Path(path).read_text())
+    if data.get("kind") == "run-record":
+        return artifact_from_record(data)
+    return load_artifact(path)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.obs.regress",
         description="compare two bench-trajectory artifacts and gate regressions",
     )
-    parser.add_argument("baseline", help="committed baseline BENCH_*.json")
+    parser.add_argument("baseline", nargs="?",
+                        help="committed baseline BENCH_*.json "
+                             "(or use --against-run)")
     parser.add_argument("candidate", nargs="?",
                         help="candidate artifact (or use --latest)")
+    parser.add_argument("--against-run", metavar="REF",
+                        help="use ledger run REF (run id / prefix / latest~N) "
+                             "as the baseline instead of a BENCH file")
+    parser.add_argument("--ledger", metavar="DIR", default=None,
+                        help="ledger directory for --against-run "
+                             "(default: runs/)")
     parser.add_argument("--latest", metavar="DIR",
                         help="pick the newest BENCH_<date>.json in DIR as candidate")
     parser.add_argument("--rel-tol", type=float, default=DEFAULT_REL_TOL,
@@ -168,18 +224,44 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("-v", "--verbose", action="store_true",
                         help="also list non-regressed metrics")
     args = parser.parse_args(argv)
-    baseline_path = pathlib.Path(args.baseline)
+    if args.against_run:
+        from repro.obs.ledger import DEFAULT_LEDGER_DIR, Ledger, LedgerError
+
+        try:
+            record = Ledger(args.ledger or DEFAULT_LEDGER_DIR).get(args.against_run)
+        except LedgerError as exc:
+            parser.error(str(exc))
+        baseline = artifact_from_record(record)
+        baseline_desc = f"ledger run {record['run_id']}"
+        baseline_path = pathlib.Path(args.baseline) if args.baseline else None
+        if args.baseline and not args.candidate:
+            # `regress --against-run REF CANDIDATE` binds the lone
+            # positional to the candidate slot
+            args.candidate, args.baseline = args.baseline, None
+            baseline_path = None
+    elif args.baseline:
+        baseline_path = pathlib.Path(args.baseline)
+        baseline = _load_artifact_or_record(baseline_path)
+        baseline_desc = str(baseline_path)
+    else:
+        parser.error("provide BASELINE or --against-run REF")
     if args.candidate:
         candidate_path = pathlib.Path(args.candidate)
     elif args.latest:
-        candidate_path = _latest_artifact(pathlib.Path(args.latest), baseline_path)
+        candidate_path = _latest_artifact(
+            pathlib.Path(args.latest), baseline_path or pathlib.Path(os.devnull)
+        )
     else:
         parser.error("provide CANDIDATE or --latest DIR")
-    baseline = load_artifact(baseline_path)
-    candidate = load_artifact(candidate_path)
-    deltas = compare_artifacts(baseline, candidate,
-                               rel_tol=args.rel_tol, share_tol=args.share_tol)
-    print(f"baseline:  {baseline_path} (generated {baseline.get('generated')})")
+    candidate = _load_artifact_or_record(candidate_path)
+    kind_fn = _metric_kind
+    if "run-record-projection" in (baseline.get("kind"), candidate.get("kind")):
+        from repro.obs.ledger import ledger_metric_kind
+
+        kind_fn = ledger_metric_kind
+    deltas = compare_artifacts(baseline, candidate, rel_tol=args.rel_tol,
+                               share_tol=args.share_tol, kind_fn=kind_fn)
+    print(f"baseline:  {baseline_desc} (generated {baseline.get('generated')})")
     print(f"candidate: {candidate_path} (generated {candidate.get('generated')})")
     print(format_deltas(deltas, verbose=args.verbose))
     return 1 if regressions(deltas) else 0

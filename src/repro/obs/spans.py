@@ -14,10 +14,14 @@ this module only defines the data model and the context manager.
 
 from __future__ import annotations
 
-import time
 from typing import Any, Iterator
 
-__all__ = ["Span", "SpanContext", "NULL_SPAN"]
+__all__ = ["Span", "SpanContext", "NULL_SPAN", "clock"]
+
+# The single wall-clock source of the repository lives in
+# repro.util.timer; spans delegate to it so span durations and
+# PhaseTimer phases are always directly comparable (docs/api.md).
+from repro.util.timer import clock
 
 
 class Span:
@@ -148,11 +152,13 @@ class SpanContext:
         if self._parent is None:
             self._parent = self._registry.current_span()
         self._registry._push_span(self._span)
-        self._start = time.perf_counter()
+        self._start = clock()
         return self._span
 
     def __exit__(self, *exc: object) -> None:
-        self._span.elapsed = time.perf_counter() - self._start
+        # runs on exceptions too (the `with` protocol), so the span stack
+        # always unwinds and no open span leaks into the next run's tree
+        self._span.elapsed = clock() - self._start
         self._registry._pop_span(self._span)
         self._registry._attach_span(self._span, self._parent)
 

@@ -1,0 +1,177 @@
+"""Chrome ``trace_event`` export: open any span tree in Perfetto.
+
+Converts the recorded span trees (:mod:`repro.obs.spans`) into the
+Trace Event Format consumed by ``chrome://tracing`` and
+https://ui.perfetto.dev — the paper's Figure-6 phase breakdown as an
+interactive timeline.
+
+Spans record *durations*, not absolute start times, so the exporter
+reconstructs a timeline: root spans are laid end to end and each span's
+children are packed sequentially from their parent's start.  When timer
+jitter makes the children sum to slightly more than the parent, the
+children are scaled down proportionally so the containment invariant the
+viewers rely on (child interval inside parent interval) always holds.
+
+Every span becomes one complete ("ph": "X") event whose ``dur`` is the
+span's elapsed time in microseconds and whose ``args`` carry the span
+attributes.  :func:`spans_from_trace` reconstructs the span trees from
+an exported document (names, nesting, durations), which is how the CI
+smoke job validates round-tripping.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.obs.spans import Span
+
+__all__ = [
+    "TRACE_DISPLAY_UNIT",
+    "build_trace",
+    "spans_to_trace_events",
+    "spans_from_trace",
+    "trace_from_record",
+    "trace_from_report",
+    "trace_total_duration",
+    "write_trace",
+]
+
+TRACE_DISPLAY_UNIT = "ms"
+
+# containment slack in microseconds when rebuilding trees: ts/dur are
+# rounded to 3 decimals (nanosecond grain), so 10 ns absorbs the rounding
+_EPSILON_US = 0.01
+
+
+def _jsonify_attrs(attrs: dict[str, Any]) -> dict[str, Any]:
+    out: dict[str, Any] = {}
+    for key, value in attrs.items():
+        out[key] = value.item() if hasattr(value, "item") else value
+    return out
+
+
+def spans_to_trace_events(
+    roots: list[Span], pid: int = 1, tid: int = 1, process_name: str = "repro"
+) -> list[dict[str, Any]]:
+    """Flatten span trees into a ``traceEvents`` list (pre-order)."""
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": process_name},
+        }
+    ]
+
+    def emit(span: Span, start: float) -> None:
+        events.append(
+            {
+                "name": span.name,
+                "cat": "span",
+                "ph": "X",
+                "ts": round(start * 1e6, 3),
+                "dur": round(span.elapsed * 1e6, 3),
+                "pid": pid,
+                "tid": tid,
+                "args": _jsonify_attrs(span.attrs),
+            }
+        )
+        child_total = sum(c.elapsed for c in span.children)
+        scale = 1.0
+        if child_total > span.elapsed > 0.0:
+            scale = span.elapsed / child_total
+        cursor = start
+        for child in span.children:
+            emit_scaled(child, cursor, scale)
+            cursor += child.elapsed * scale
+
+    def emit_scaled(span: Span, start: float, scale: float) -> None:
+        if scale == 1.0:
+            emit(span, start)
+            return
+        clone = Span(span.name, span.attrs)
+        clone.elapsed = span.elapsed * scale
+        clone.children = span.children
+        emit(clone, start)
+
+    cursor = 0.0
+    for root in roots:
+        emit(root, cursor)
+        cursor += root.elapsed
+    return events
+
+
+def build_trace(
+    roots: list[Span], meta: dict[str, Any] | None = None
+) -> dict[str, Any]:
+    """One JSON-object-format trace document for a list of root spans."""
+    doc: dict[str, Any] = {
+        "traceEvents": spans_to_trace_events(roots),
+        "displayTimeUnit": TRACE_DISPLAY_UNIT,
+    }
+    if meta:
+        doc["otherData"] = {k: str(v) for k, v in meta.items()}
+    return doc
+
+
+def trace_from_report(report: dict[str, Any]) -> dict[str, Any]:
+    """Trace document for a parsed ``repro.obs.report`` artifact."""
+    roots = [Span.from_dict(d) for d in report.get("spans", [])]
+    return build_trace(roots, meta=report.get("meta"))
+
+
+def trace_from_record(record: dict[str, Any]) -> dict[str, Any]:
+    """Trace document for a ledger run record (see :mod:`repro.obs.ledger`)."""
+    roots = [Span.from_dict(d) for d in record.get("spans", [])]
+    meta = {
+        "run_id": record.get("run_id"),
+        "command": record.get("command"),
+        "config_hash": record.get("config_hash"),
+    }
+    return build_trace(roots, meta=meta)
+
+
+def spans_from_trace(trace: dict[str, Any]) -> list[Span]:
+    """Rebuild span trees from an exported trace (the round-trip check).
+
+    Only complete ("X") events are considered; nesting is recovered from
+    interval containment per (pid, tid) lane, which is exactly the
+    invariant the exporter guarantees.
+    """
+    events = [e for e in trace.get("traceEvents", []) if e.get("ph") == "X"]
+    events.sort(key=lambda e: (e.get("pid", 0), e.get("tid", 0),
+                               e["ts"], -e["dur"]))
+    roots: list[Span] = []
+    # stack of (span, lane, ts, end)
+    stack: list[tuple[Span, tuple[int, int], float, float]] = []
+    for event in events:
+        span = Span(event["name"], event.get("args") or None)
+        span.elapsed = event["dur"] / 1e6
+        lane = (event.get("pid", 0), event.get("tid", 0))
+        ts, end = event["ts"], event["ts"] + event["dur"]
+        while stack and not (
+            stack[-1][1] == lane
+            and ts >= stack[-1][2] - _EPSILON_US
+            and end <= stack[-1][3] + _EPSILON_US
+        ):
+            stack.pop()
+        if stack:
+            stack[-1][0].children.append(span)
+        else:
+            roots.append(span)
+        stack.append((span, lane, ts, end))
+    return roots
+
+
+def trace_total_duration(trace: dict[str, Any]) -> float:
+    """Total seconds covered by the trace's top-level spans."""
+    return sum(root.elapsed for root in spans_from_trace(trace))
+
+
+def write_trace(path: str, trace: dict[str, Any]) -> None:
+    """Persist a trace document (loadable by Perfetto / chrome://tracing)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh, indent=1)
+        fh.write("\n")

@@ -3,6 +3,14 @@
 The paper reports end-to-end execution time including preprocessing
 (Section 5.1) and a per-phase breakdown (Figure 6); :class:`PhaseTimer`
 captures both.
+
+There is exactly **one clock source** in the repository: :func:`clock`
+below (a monotonic ``perf_counter``).  Span tracing
+(:mod:`repro.obs.spans`) and these timers both read it, so a
+``PhaseTimer`` phase and the registry span wrapping the same region
+(see :func:`repro.obs.instrument.timed_phase`) report directly
+comparable durations — deduplicated here rather than keeping two
+independent timing implementations (``docs/api.md``).
 """
 
 from __future__ import annotations
@@ -10,7 +18,16 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-__all__ = ["Timer", "PhaseTimer"]
+__all__ = ["Timer", "PhaseTimer", "clock"]
+
+
+def clock() -> float:
+    """The repository's single wall-clock source (monotonic seconds).
+
+    Both the timers below and span tracing delegate here; measure
+    anything new against this clock, never ``time.time()``.
+    """
+    return time.perf_counter()
 
 
 class Timer:
@@ -21,12 +38,12 @@ class Timer:
         self._start: float | None = None
 
     def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
+        self._start = clock()
         return self
 
     def __exit__(self, *exc: object) -> None:
         assert self._start is not None
-        self.elapsed = time.perf_counter() - self._start
+        self.elapsed = clock() - self._start
         self._start = None
 
 
@@ -65,9 +82,9 @@ class _PhaseContext:
         self._start: float | None = None
 
     def __enter__(self) -> "_PhaseContext":
-        self._start = time.perf_counter()
+        self._start = clock()
         return self
 
     def __exit__(self, *exc: object) -> None:
         assert self._start is not None
-        self._timer.add(self._name, time.perf_counter() - self._start)
+        self._timer.add(self._name, clock() - self._start)

@@ -1,6 +1,8 @@
 """Tests for the command-line interface."""
 
 import json
+import os
+import pathlib
 
 import numpy as np
 import pytest
@@ -192,3 +194,157 @@ class TestReport:
         assert main(["report", "--file", edgelist_file]) == 0
         parsed = json.loads(capsys.readouterr().out)
         assert set(parsed) >= {"schema", "meta", "metrics", "spans"}
+
+def _exit2(argv):
+    """Input errors must exit with status 2 and a one-line diagnostic."""
+    with pytest.raises(SystemExit) as exc:
+        main(argv)
+    assert exc.value.code == 2
+
+
+class TestInputErrors:
+    def test_count_missing_file(self, capsys):
+        _exit2(["count", "--file", "/nonexistent/graph.txt"])
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and err.count("\n") == 1
+
+    def test_count_malformed_edgelist(self, tmp_path, capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("this is\nnot an edge list\nat all\n")
+        _exit2(["count", "--file", str(bad)])
+        assert "error: cannot load graph" in capsys.readouterr().err
+
+    def test_count_unknown_dataset(self, capsys):
+        _exit2(["count", "--dataset", "NoSuchGraph"])
+        assert "unknown dataset" in capsys.readouterr().err
+
+    def test_report_missing_file(self, capsys):
+        _exit2(["report", "--file", "/nonexistent/graph.txt"])
+        assert "no such file" in capsys.readouterr().err
+
+    def test_locality_missing_file(self, capsys):
+        _exit2(["locality", "--file", "/nonexistent/graph.txt"])
+        assert "no such file" in capsys.readouterr().err
+
+    def test_locality_malformed_npz(self, tmp_path, capsys):
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"\x00\x01 not a zipfile")
+        _exit2(["locality", "--file", str(bad)])
+        assert "error: cannot load graph" in capsys.readouterr().err
+
+
+class TestRunsLedger:
+    @pytest.fixture
+    def ledger_dir(self, tmp_path):
+        return str(tmp_path / "runs")
+
+    def _record(self, edgelist_file, ledger_dir, capsys):
+        assert main([
+            "count", "--file", edgelist_file, "--trace", "--ledger", ledger_dir,
+        ]) == 0
+        out = capsys.readouterr().out
+        line = next(l for l in out.splitlines() if l.startswith("recorded run "))
+        return line.split()[2]
+
+    def test_count_trace_appends_record(self, edgelist_file, ledger_dir, capsys):
+        run_id = self._record(edgelist_file, ledger_dir, capsys)
+        assert run_id.startswith("r")
+        ledger = json.loads(
+            (pathlib.Path(ledger_dir) / "ledger.jsonl").read_text()
+        )
+        assert ledger["run_id"] == run_id
+        assert ledger["config_hash"].startswith("sha256:")
+        assert ledger["spans"], "traced run must persist its span tree"
+
+    def test_runs_list_and_show(self, edgelist_file, ledger_dir, capsys):
+        run_id = self._record(edgelist_file, ledger_dir, capsys)
+        assert main(["runs", "list", "--ledger", ledger_dir]) == 0
+        out = capsys.readouterr().out
+        assert run_id in out and "1 run(s)" in out
+        assert main(["runs", "show", "latest", "--ledger", ledger_dir]) == 0
+        out = capsys.readouterr().out
+        assert f"run:      {run_id}" in out and "lotus" in out
+
+    def test_runs_show_json(self, edgelist_file, ledger_dir, capsys):
+        run_id = self._record(edgelist_file, ledger_dir, capsys)
+        assert main([
+            "runs", "show", run_id[:12], "--format", "json",
+            "--ledger", ledger_dir,
+        ]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["run_id"] == run_id
+        assert record["provenance"]["python"]
+
+    def test_runs_diff_identical_runs_exit_zero(
+        self, edgelist_file, ledger_dir, capsys
+    ):
+        self._record(edgelist_file, ledger_dir, capsys)
+        self._record(edgelist_file, ledger_dir, capsys)
+        assert main([
+            "runs", "diff", "latest~1", "latest", "--ledger", ledger_dir,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "0 regression(s)" in out
+
+    def test_runs_diff_detects_exact_regression(
+        self, edgelist_file, ledger_dir, capsys
+    ):
+        self._record(edgelist_file, ledger_dir, capsys)
+        self._record(edgelist_file, ledger_dir, capsys)
+        path = pathlib.Path(ledger_dir) / "ledger.jsonl"
+        lines = path.read_text().splitlines()
+        record = json.loads(lines[1])
+        record["meta"]["triangles"] += 1
+        path.write_text(lines[0] + "\n" + json.dumps(record) + "\n")
+        assert main([
+            "runs", "diff", "latest~1", "latest", "--ledger", ledger_dir,
+        ]) == 1
+        assert "regression" in capsys.readouterr().out
+
+    def test_runs_export_trace(self, edgelist_file, ledger_dir, tmp_path, capsys):
+        self._record(edgelist_file, ledger_dir, capsys)
+        dest = tmp_path / "run.trace.json"
+        assert main([
+            "runs", "export", "latest", "--ledger", ledger_dir,
+            "--output", str(dest),
+        ]) == 0
+        trace = json.loads(dest.read_text())
+        names = [e["name"] for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert "lotus" in names and "preprocess" in names
+
+    def test_runs_export_record(self, edgelist_file, ledger_dir, capsys):
+        run_id = self._record(edgelist_file, ledger_dir, capsys)
+        assert main([
+            "runs", "export", "latest", "--format", "record",
+            "--ledger", ledger_dir,
+        ]) == 0
+        assert json.loads(capsys.readouterr().out)["run_id"] == run_id
+
+    def test_runs_missing_ledger(self, tmp_path, capsys):
+        _exit2(["runs", "list", "--ledger", str(tmp_path / "empty")])
+        assert "no ledger at" in capsys.readouterr().err
+
+    def test_runs_unknown_ref(self, edgelist_file, ledger_dir, capsys):
+        self._record(edgelist_file, ledger_dir, capsys)
+        _exit2(["runs", "show", "zzzznope", "--ledger", ledger_dir])
+        assert "error:" in capsys.readouterr().err
+
+    def test_runs_latest_out_of_range(self, edgelist_file, ledger_dir, capsys):
+        self._record(edgelist_file, ledger_dir, capsys)
+        _exit2(["runs", "show", "latest~5", "--ledger", ledger_dir])
+
+    def test_runs_malformed_ledger_line(self, edgelist_file, ledger_dir, capsys):
+        self._record(edgelist_file, ledger_dir, capsys)
+        path = pathlib.Path(ledger_dir) / "ledger.jsonl"
+        path.write_text(path.read_text() + "{malformed\n")
+        _exit2(["runs", "list", "--ledger", ledger_dir])
+        assert "error:" in capsys.readouterr().err
+
+    def test_report_ledger_flag_appends(self, edgelist_file, ledger_dir, capsys):
+        assert main([
+            "report", "--file", edgelist_file, "--ledger", ledger_dir,
+            "--output", os.devnull,
+        ]) == 0
+        assert "recorded run " in capsys.readouterr().out
+        assert main(["runs", "list", "--ledger", ledger_dir]) == 0
+        assert "report" in capsys.readouterr().out

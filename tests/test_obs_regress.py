@@ -232,3 +232,89 @@ class TestCommittedBaseline:
     def test_baseline_self_compare_is_clean(self):
         artifact = load_artifact(BASELINE)
         assert regressions(compare_artifacts(artifact, copy.deepcopy(artifact))) == []
+
+
+class TestAgainstRun:
+    """``--against-run``: the gate's baseline can be any ledger record."""
+
+    def _ledger_with_trajectory_record(self, tmp_path, metrics):
+        from repro.obs.ledger import Ledger, build_run_record
+
+        record = build_run_record(
+            None,
+            command="bench_trajectory",
+            config={"command": "bench_trajectory", "suite": ["LJGrp"]},
+            artifact=_artifact(metrics),
+        )
+        ledger = Ledger(tmp_path / "runs")
+        ledger.append(record)
+        return ledger
+
+    def test_embedded_artifact_used_verbatim(self, tmp_path, capsys):
+        self._ledger_with_trajectory_record(tmp_path, _METRICS)
+        cand = tmp_path / "BENCH_2026-01-02.json"
+        cand.write_text(json.dumps(_artifact(dict(_METRICS))))
+        assert main([
+            "--against-run", "latest", "--ledger", str(tmp_path / "runs"),
+            str(cand),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ledger run r" in out
+        assert f"compared {len(_METRICS)} tracked metrics: 0 regression(s)" in out
+
+    def test_regression_against_recorded_run_exits_one(self, tmp_path, capsys):
+        self._ledger_with_trajectory_record(tmp_path, _METRICS)
+        injected = dict(_METRICS)
+        injected["LJGrp.triangles"] = 1
+        cand = tmp_path / "BENCH_2026-01-02.json"
+        cand.write_text(json.dumps(_artifact(injected)))
+        assert main([
+            "--against-run", "latest", "--ledger", str(tmp_path / "runs"),
+            str(cand),
+        ]) == 1
+        assert "REGRESSION LJGrp.triangles" in capsys.readouterr().out
+
+    def test_plain_record_projected_onto_flat_metrics(self, tmp_path, capsys):
+        # a non-trajectory record (no embedded artifact) is compared via
+        # its flattened metric projection, with the ledger kind map
+        from repro.obs import use_registry
+        from repro.obs.ledger import Ledger, build_run_record
+
+        def _record():
+            with use_registry() as reg:
+                reg.counter("pairs").add(100)
+                reg.gauge("hit_rate").set(0.5)
+            return build_run_record(
+                None if reg is None else reg,
+                command="count",
+                config={"command": "count"},
+                meta={"triangles": 7, "elapsed": 1.0},
+            )
+
+        ledger = Ledger(tmp_path / "runs")
+        ledger.append(_record())
+        cand_record = _record()
+        cand_record["meta"]["elapsed"] = 99.0  # timing: must not gate
+        cand = tmp_path / "candidate-record.json"
+        cand.write_text(json.dumps(cand_record))
+        assert main([
+            "--against-run", "latest", "--ledger", str(tmp_path / "runs"),
+            str(cand), "-v",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ok meta.elapsed" in out
+        assert "ok counter.pairs" in out
+
+    def test_unknown_ref_is_usage_error(self, tmp_path):
+        self._ledger_with_trajectory_record(tmp_path, _METRICS)
+        with pytest.raises(SystemExit) as exc:
+            main([
+                "--against-run", "nope-none", "--ledger",
+                str(tmp_path / "runs"), "x.json",
+            ])
+        assert exc.value.code == 2
+
+    def test_no_baseline_and_no_against_run_is_usage_error(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["--latest", "."])
+        assert exc.value.code == 2

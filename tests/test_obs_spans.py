@@ -245,3 +245,66 @@ def build_reparsed(report: dict) -> dict:
         "metrics": report["metrics"],
         "spans": [s.to_dict() for s in spans_from_report(report)],
     }
+
+
+class TestSpanExceptionSafety:
+    """Raising inside ``with registry.span(...)`` must unwind the span
+    stack — a leaked entry would silently re-parent every later span."""
+
+    def test_exception_pops_span(self):
+        reg = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with reg.span("boom"):
+                raise RuntimeError("inside span")
+        assert reg.current_span() is None
+        (root,) = reg.roots
+        assert root.name == "boom"
+        assert root.elapsed >= 0.0  # timing finalised despite the raise
+
+    def test_exception_in_nested_span_unwinds_to_parent(self):
+        reg = MetricsRegistry()
+        with reg.span("root"):
+            with pytest.raises(ValueError):
+                with reg.span("child"):
+                    raise ValueError("child failed")
+            assert reg.current_span().name == "root"
+            with reg.span("sibling"):
+                pass
+        (root,) = reg.roots
+        assert [c.name for c in root.children] == ["child", "sibling"]
+
+    def test_next_run_tree_uncorrupted_after_exception(self):
+        reg = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with reg.span("first"):
+                with reg.span("inner"):
+                    raise RuntimeError
+        with reg.span("second"):
+            with reg.span("second-child"):
+                pass
+        assert [r.name for r in reg.roots] == ["first", "second"]
+        second = reg.roots[1]
+        assert [c.name for c in second.children] == ["second-child"]
+
+    def test_abandoned_inner_contexts_are_unwound(self):
+        # __exit__ called on an outer span while inner contexts were
+        # abandoned (e.g. generator torn down mid-iteration): the pop must
+        # clear everything above the exiting span, not strand it.
+        reg = MetricsRegistry()
+        outer = reg.span("outer")
+        outer.__enter__()
+        inner = reg.span("inner")
+        inner.__enter__()
+        outer.__exit__(None, None, None)  # inner never exited
+        assert reg.current_span() is None
+        with reg.span("after"):
+            pass
+        assert [r.name for r in reg.roots] == ["outer", "after"]
+
+    def test_use_registry_restores_on_exception(self):
+        from repro.obs import get_registry, NULL_REGISTRY
+
+        with pytest.raises(RuntimeError):
+            with use_registry():
+                raise RuntimeError
+        assert get_registry() is NULL_REGISTRY
