@@ -32,6 +32,7 @@ from repro.obs.trajectory import (  # noqa: E402  (path bootstrap above)
     ALL_MACHINES,
     DEFAULT_SUITE,
     QUICK_SUITE,
+    SCALING_DATASET,
     build_trajectory_artifact,
     write_trajectory_artifact,
 )
@@ -51,6 +52,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="write BENCH_baseline.json (the committed gate)")
     parser.add_argument("--machines", nargs="+", default=list(ALL_MACHINES),
                         choices=list(ALL_MACHINES), help="machine models to replay")
+    parser.add_argument("--scaling", nargs="?", const=SCALING_DATASET,
+                        default=None, metavar="DATASET",
+                        help="also record the multi-worker phase-1 scaling "
+                             f"run (default dataset: {SCALING_DATASET}; "
+                             "simulated speedups are gated, wall-clock is "
+                             "informational)")
     parser.add_argument("--ledger", metavar="DIR", default=None,
                         help="run-ledger directory (default: runs/ at the "
                              "repo root)")
@@ -60,7 +67,8 @@ def main(argv: list[str] | None = None) -> int:
     suite = QUICK_SUITE if args.quick else DEFAULT_SUITE
     started = time.perf_counter()
     artifact = build_trajectory_artifact(
-        suite=suite, machines=tuple(args.machines), generated=args.date
+        suite=suite, machines=tuple(args.machines), generated=args.date,
+        scaling=args.scaling,
     )
     path = write_trajectory_artifact(artifact, args.out, baseline=args.baseline)
     elapsed = time.perf_counter() - started
@@ -79,6 +87,7 @@ def main(argv: list[str] | None = None) -> int:
                 "suite": list(suite),
                 "machines": list(args.machines),
                 "baseline": bool(args.baseline),
+                "scaling": args.scaling,
             },
             meta={"artifact_path": str(path), "elapsed": elapsed},
             artifact=artifact,

@@ -131,14 +131,33 @@ def _record_run(
 
 def cmd_count(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
-    algorithm = ALGORITHMS[args.algorithm]
+    backend = getattr(args, "backend", None)
+    workers = getattr(args, "workers", None)
+    if (backend or workers) and args.algorithm != "lotus":
+        _fail(
+            f"--backend/--workers select the LOTUS phase-1 backend; "
+            f"not supported for --algorithm {args.algorithm}"
+        )
+    if workers is not None and workers < 1:
+        _fail("--workers must be >= 1")
+
+    def run():
+        if backend or workers:
+            config = LotusConfig(hub_count=args.hub_count) if args.hub_count else None
+            return count_triangles_lotus(
+                graph, config, backend=backend or "auto", workers=workers
+            )
+        return ALGORITHMS[args.algorithm](graph, args.hub_count)
+
     if args.trace:
         with use_registry() as registry:
-            result = algorithm(graph, args.hub_count)
+            result = run()
     else:
-        result = algorithm(graph, args.hub_count)
+        result = run()
     print(f"graph: {graph}")
     print(f"algorithm: {result.algorithm}")
+    if backend or workers:
+        print(f"backend: {result.extra.get('backend')} (workers={workers or 4})")
     print(f"triangles: {result.triangles:,}")
     print(f"total time: {result.elapsed:.3f}s")
     for phase, seconds in result.phases.items():
@@ -162,6 +181,8 @@ def cmd_count(args: argparse.Namespace) -> int:
                 "dataset": args.dataset,
                 "file": args.file,
                 "hub_count": args.hub_count,
+                "backend": backend,
+                "workers": workers,
             },
             meta={
                 "algorithm": result.algorithm,
@@ -457,6 +478,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_graph_args(p)
     p.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="lotus")
     p.add_argument("--hub-count", type=int, default=None)
+    p.add_argument("--backend", choices=("auto", "sequential", "threads", "processes"),
+                   default=None,
+                   help="LOTUS phase-1 execution backend (default: sequential; "
+                        "all backends are bit-identical)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="thread/process pool size for --backend (default: 4)")
     p.add_argument("--trace", action="store_true",
                    help="run under the obs registry and append a "
                         "provenance-stamped record to the run ledger")

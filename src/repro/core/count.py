@@ -214,12 +214,28 @@ def count_nnn(lotus: LotusGraph, fused: bool = True) -> int:
 
 
 def lotus_count_from_structure(
-    lotus: LotusGraph, timer: PhaseTimer | None = None
+    lotus: LotusGraph,
+    timer: PhaseTimer | None = None,
+    backend: str | None = None,
+    workers: int | None = None,
 ) -> LotusCounts:
-    """Run the three counting phases on a prebuilt structure."""
+    """Run the three counting phases on a prebuilt structure.
+
+    ``backend`` selects the phase-1 execution backend
+    (``auto | sequential | threads | processes``; ``None`` means
+    sequential — phases 2 and 3 are fully vectorised single passes and
+    always run in-process).  ``workers`` sizes the thread/process pool.
+    All backends are bit-identical.
+    """
     timer = timer or PhaseTimer()
     with timed_phase(timer, "hhh+hhn") as span:
-        hhh, hhn = count_hhh_hhn(lotus)
+        if backend is None or backend == "sequential":
+            hhh, hhn = count_hhh_hhn(lotus)
+        else:
+            # local import: repro.parallel.executor imports this module
+            from repro.parallel.backend import run_phase1
+
+            hhh, hhn = run_phase1(lotus, backend=backend, workers=workers or 4)
         if span.enabled:
             deg = lotus.he.degrees()
             span.set("pairs_tested", int((deg * (deg - 1) // 2).sum()))
@@ -242,20 +258,27 @@ def lotus_count_from_structure(
 
 
 def count_triangles_lotus(
-    graph: CSRGraph, config: LotusConfig | None = None
+    graph: CSRGraph,
+    config: LotusConfig | None = None,
+    backend: str | None = None,
+    workers: int | None = None,
 ) -> TCResult:
     """End-to-end LOTUS triangle counting: Algorithm 2 + Algorithm 3.
 
     The returned :class:`~repro.tc.result.TCResult` carries the phase
     breakdown (Figure 6) in ``phases`` and the per-type counts (Figure 7)
-    plus the HE/NHE edge split (Figure 8) in ``extra``.
+    plus the HE/NHE edge split (Figure 8) in ``extra``.  ``backend`` /
+    ``workers`` select the phase-1 execution backend (see
+    :func:`lotus_count_from_structure`).
     """
     timer = PhaseTimer()
     with root_span(
         "lotus", num_vertices=graph.num_vertices, num_edges=graph.num_edges
     ) as span:
         lotus = build_lotus_graph(graph, config, timer=timer)
-        counts = lotus_count_from_structure(lotus, timer=timer)
+        counts = lotus_count_from_structure(
+            lotus, timer=timer, backend=backend, workers=workers
+        )
         span.set("triangles", counts.total)
         span.set("hub_count", lotus.hub_count)
     return TCResult(
@@ -265,6 +288,7 @@ def count_triangles_lotus(
         phases=dict(timer.phases),
         extra={
             "counts": counts,
+            "backend": backend or "sequential",
             "hub_count": lotus.hub_count,
             "hub_edges": lotus.hub_edges,
             "non_hub_edges": lotus.non_hub_edges,

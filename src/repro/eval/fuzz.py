@@ -1,0 +1,338 @@
+"""Property-based differential fuzzing of every triangle counter.
+
+The property is singular and total: **every algorithm, kernel and
+execution backend returns exactly the dense-oracle count on every
+graph**.  The harness generates seeded random cases across structurally
+diverse families (skewed Chung-Lu and RMAT graphs next to adversarial
+shapes — stars, cliques, paths, empty and single-vertex graphs), runs
+the full counter matrix against ``trace(A^3) / 6``, and on any mismatch
+minimises the case to a small witness by greedy edge deletion before
+reporting it.
+
+Everything is dependency-free (NumPy only — no hypothesis) and fully
+deterministic per seed: ``python -m repro.eval.fuzz --cases 200 --seed 7``
+re-runs the exact CI corpus.  See ``docs/testing.md`` for the taxonomy
+and reproduction workflow.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.graph.build import from_edges
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "FuzzCase",
+    "CASE_KINDS",
+    "random_case",
+    "dense_oracle",
+    "fuzz_counters",
+    "check_case",
+    "minimize_case",
+    "format_case",
+    "run_fuzz",
+]
+
+CASE_KINDS = (
+    "empty",
+    "single-vertex",
+    "path",
+    "star",
+    "clique",
+    "chung-lu",
+    "rmat",
+)
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One generated input: an edge list plus its provenance."""
+
+    seed: int
+    kind: str
+    num_vertices: int
+    edges: np.ndarray  # (m, 2) int64, possibly with duplicates/self-loops
+
+    def graph(self) -> CSRGraph:
+        return from_edges(self.edges, num_vertices=self.num_vertices)
+
+
+def random_case(seed: int) -> FuzzCase:
+    """Deterministically generate one case from ``seed``.
+
+    Random families dominate (they find counting bugs); degenerate
+    shapes keep a fixed share of the corpus (they find edge-case bugs:
+    empty intersections, single-element rows, vertex-count-0 paths).
+    """
+    rng = np.random.default_rng(seed)
+    kind = CASE_KINDS[int(rng.integers(len(CASE_KINDS)))]
+    if kind == "empty":
+        n = int(rng.integers(0, 4))
+        return FuzzCase(seed, kind, n, np.zeros((0, 2), dtype=np.int64))
+    if kind == "single-vertex":
+        return FuzzCase(seed, kind, 1, np.zeros((0, 2), dtype=np.int64))
+    if kind == "path":
+        n = int(rng.integers(2, 24))
+        v = np.arange(n, dtype=np.int64)
+        edges = np.column_stack([v[:-1], v[1:]])
+        return FuzzCase(seed, kind, n, edges)
+    if kind == "star":
+        n = int(rng.integers(2, 40))
+        edges = np.column_stack(
+            [np.zeros(n - 1, dtype=np.int64), np.arange(1, n, dtype=np.int64)]
+        )
+        return FuzzCase(seed, kind, n, edges)
+    if kind == "clique":
+        n = int(rng.integers(2, 14))
+        u, v = np.triu_indices(n, k=1)
+        return FuzzCase(seed, kind, n, np.column_stack([u, v]).astype(np.int64))
+    if kind == "chung-lu":
+        n = int(rng.integers(4, 64))
+        # skewed expected-degree sequence: a few heavy vertices
+        w = rng.pareto(1.5, size=n) + 1.0
+        w = w / w.sum()
+        m = int(rng.integers(n, 4 * n))
+        u = rng.choice(n, size=m, p=w)
+        v = rng.choice(n, size=m, p=w)
+        return FuzzCase(seed, kind, n, np.column_stack([u, v]).astype(np.int64))
+    # rmat: recursive quadrant sampling — power-law with locality skew
+    scale = int(rng.integers(3, 7))
+    n = 1 << scale
+    m = int(rng.integers(n, 3 * n))
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    for level in range(scale):
+        r = rng.random(m)
+        quad = np.searchsorted(np.cumsum([0.57, 0.19, 0.19]), r)
+        src = src * 2 + (quad >= 2)
+        dst = dst * 2 + (quad % 2)
+    return FuzzCase(seed, "rmat", n, np.column_stack([src, dst]))
+
+
+def dense_oracle(graph: CSRGraph) -> int:
+    """Reference count: ``trace(A^3) / 6`` on the dense adjacency."""
+    n = graph.num_vertices
+    if n == 0:
+        return 0
+    a = np.zeros((n, n), dtype=np.int64)
+    src = np.repeat(np.arange(n, dtype=np.int64), graph.degrees())
+    a[src, graph.indices.astype(np.int64, copy=False)] = 1
+    return int(np.einsum("ij,jk,ki->", a, a, a)) // 6
+
+
+def _triangles(result) -> int:
+    return int(result if isinstance(result, (int, np.integer)) else result.triangles)
+
+
+def _forward_with_kernel(graph: CSRGraph, kernel_name: str) -> int:
+    """Forward counting driven through one registered intersect kernel.
+
+    The kernel is looked up in ``INTERSECT_KERNELS`` *per call*, so a
+    monkeypatched (deliberately broken) kernel is exercised — the harness
+    self-test relies on this.
+    """
+    from repro.tc.intersect import INTERSECT_KERNELS
+
+    kernel = INTERSECT_KERNELS[kernel_name]
+    oriented = graph.orient_lower()
+    n = graph.num_vertices
+    total = 0
+    for v in range(n):
+        row = oriented.neighbors(v).astype(np.int64, copy=False)
+        for u in row:
+            other = oriented.neighbors(int(u)).astype(np.int64, copy=False)
+            if kernel_name == "bitmap":
+                total += kernel(other, row, max(n, 1))
+            else:
+                total += kernel(other, row)
+    return total
+
+
+def fuzz_counters() -> dict[str, Callable[[CSRGraph], int]]:
+    """The full counter matrix: algorithms × kernels × backends."""
+    from repro.core import count_triangles_lotus
+    from repro.core.adaptive import count_triangles_adaptive
+    from repro.tc import (
+        INTERSECT_KERNELS,
+        count_triangles_block,
+        count_triangles_edge_iterator,
+        count_triangles_forward,
+        count_triangles_forward_hashed,
+        count_triangles_matrix,
+        count_triangles_node_iterator,
+        count_triangles_spgemm,
+    )
+
+    counters: dict[str, Callable[[CSRGraph], int]] = {
+        "node-iterator": lambda g: _triangles(count_triangles_node_iterator(g)),
+        "edge-iterator": lambda g: _triangles(count_triangles_edge_iterator(g)),
+        "forward": lambda g: _triangles(count_triangles_forward(g)),
+        "forward-hashed": lambda g: _triangles(count_triangles_forward_hashed(g)),
+        "block": lambda g: _triangles(count_triangles_block(g)),
+        "matrix": lambda g: _triangles(count_triangles_matrix(g)),
+        "spgemm": lambda g: _triangles(count_triangles_spgemm(g)),
+        "adaptive": lambda g: _triangles(count_triangles_adaptive(g)),
+        "lotus": lambda g: _triangles(count_triangles_lotus(g)),
+    }
+    for name in INTERSECT_KERNELS:
+        counters[f"forward-kernel:{name}"] = (
+            lambda g, k=name: _forward_with_kernel(g, k)
+        )
+    # a quarter of the vertices as hubs gives the fuzz-sized graphs real
+    # phase-1 work (the default hub heuristic rounds them down to 1 hub)
+    from repro.core import LotusConfig
+
+    def _lotus_backend(g: CSRGraph, backend: str) -> int:
+        config = LotusConfig(hub_count=max(1, g.num_vertices // 4))
+        return _triangles(
+            count_triangles_lotus(g, config, backend=backend, workers=2)
+        )
+
+    for backend in ("threads", "processes"):
+        counters[f"lotus-{backend}"] = lambda g, b=backend: _lotus_backend(g, b)
+    return counters
+
+
+def check_case(
+    case: FuzzCase,
+    counters: dict[str, Callable[[CSRGraph], int]] | None = None,
+) -> list[str]:
+    """Run the counter matrix on one case; returns mismatch descriptions."""
+    counters = counters if counters is not None else fuzz_counters()
+    graph = case.graph()
+    expected = dense_oracle(graph)
+    mismatches = []
+    for name, fn in counters.items():
+        try:
+            got = fn(graph)
+        except Exception as exc:
+            mismatches.append(f"{name}: raised {type(exc).__name__}: {exc}")
+            continue
+        if got != expected:
+            mismatches.append(f"{name}: counted {got}, oracle says {expected}")
+    return mismatches
+
+
+def minimize_case(
+    case: FuzzCase,
+    is_failing: Callable[[FuzzCase], bool],
+    max_checks: int = 400,
+) -> FuzzCase:
+    """Shrink a failing case by deleting edges (ddmin-style).
+
+    Tries dropping contiguous edge blocks, halving the block size down
+    to single edges; every kept deletion must preserve the failure.
+    Bounded by ``max_checks`` predicate evaluations so shrinking a slow
+    failure cannot hang the harness.
+    """
+    edges = case.edges
+    checks = 0
+    block = max(len(edges) // 2, 1)
+    while len(edges) and checks < max_checks:
+        i = 0
+        while i < len(edges) and checks < max_checks:
+            candidate = replace(
+                case, edges=np.concatenate([edges[:i], edges[i + block:]])
+            )
+            checks += 1
+            if is_failing(candidate):
+                edges = candidate.edges
+            else:
+                i += block
+        if block == 1:
+            break
+        block = max(block // 2, 1)
+    return replace(case, edges=edges)
+
+
+def format_case(case: FuzzCase) -> str:
+    """A copy-pasteable snippet that rebuilds the case."""
+    pairs = ", ".join(f"({int(u)}, {int(v)})" for u, v in case.edges)
+    return (
+        f"# fuzz case: seed={case.seed} kind={case.kind} "
+        f"|V|={case.num_vertices} |edges|={len(case.edges)}\n"
+        "import numpy as np\n"
+        "from repro.graph.build import from_edges\n"
+        f"edges = np.array([{pairs}], dtype=np.int64).reshape(-1, 2)\n"
+        f"graph = from_edges(edges, num_vertices={case.num_vertices})"
+    )
+
+
+def run_fuzz(
+    cases: int = 200,
+    seed: int = 0,
+    counters: dict[str, Callable[[CSRGraph], int]] | None = None,
+    on_progress: Callable[[int, FuzzCase], None] | None = None,
+) -> dict:
+    """Run ``cases`` seeded cases; minimise and report the first failure.
+
+    Returns ``{"cases": n, "failure": None}`` on success, or a failure
+    dict with the shrunk case, its mismatches and the repro snippet.
+    Case ``i`` uses seed ``seed + i`` — any failure reproduces alone.
+    """
+    counters = counters if counters is not None else fuzz_counters()
+    kind_counts: dict[str, int] = {}
+    for i in range(cases):
+        case = random_case(seed + i)
+        kind_counts[case.kind] = kind_counts.get(case.kind, 0) + 1
+        if on_progress is not None:
+            on_progress(i, case)
+        mismatches = check_case(case, counters)
+        if mismatches:
+            shrunk = minimize_case(
+                case, lambda c: bool(check_case(c, counters))
+            )
+            return {
+                "cases": i + 1,
+                "kinds": kind_counts,
+                "failure": {
+                    "seed": case.seed,
+                    "kind": case.kind,
+                    "mismatches": check_case(shrunk, counters),
+                    "original_edges": int(len(case.edges)),
+                    "shrunk_edges": int(len(shrunk.edges)),
+                    "repro": format_case(shrunk),
+                },
+            }
+    return {"cases": cases, "kinds": kind_counts, "failure": None}
+
+
+def main(argv: Iterable[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval.fuzz",
+        description="differential fuzzing of all triangle counters",
+    )
+    parser.add_argument("--cases", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--progress-every", type=int, default=50)
+    args = parser.parse_args(list(argv) if argv is not None else None)
+
+    def progress(i: int, case: FuzzCase) -> None:
+        if args.progress_every and i % args.progress_every == 0:
+            print(f"case {i}/{args.cases} (seed {case.seed}, {case.kind})")
+
+    report = run_fuzz(args.cases, args.seed, on_progress=progress)
+    if report["failure"] is None:
+        print(
+            f"ok: {report['cases']} cases, no mismatches "
+            f"(kinds: {report['kinds']})"
+        )
+        return 0
+    failure = report["failure"]
+    print(f"FAILURE at seed {failure['seed']} ({failure['kind']}): ")
+    for m in failure["mismatches"]:
+        print(f"  {m}")
+    print(
+        f"shrunk {failure['original_edges']} -> {failure['shrunk_edges']} edges:"
+    )
+    print(failure["repro"])
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    raise SystemExit(main())

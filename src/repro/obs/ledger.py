@@ -412,8 +412,15 @@ def ledger_metric_kind(key: str) -> str:
     """
     if key.endswith(".triangles"):
         return "exact"
+    if ".sched." in key:
+        # scheduler-dependent metrics (tile/chunk/steal counts, pool waits,
+        # shm sizes) vary with worker count and backend by design; they are
+        # informational, so snapshots stay identical across backends
+        return "timing"
     if key.endswith("_share") or key.startswith("gauge."):
         return "share"
+    if key.endswith("_speedup"):
+        return "floor"
     if (
         key.endswith("_seconds")
         or key.endswith(".elapsed")

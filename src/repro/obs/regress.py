@@ -58,7 +58,7 @@ class MetricDelta:
     key: str
     baseline: float | None
     candidate: float | None
-    kind: str  # "exact" | "count" | "share" | "missing" | "new"
+    kind: str  # "exact" | "count" | "share" | "floor" | "timing" | "missing" | "new"
     regressed: bool
     reason: str = ""
 
@@ -79,6 +79,8 @@ def _metric_kind(key: str) -> str:
         return "exact"
     if key.endswith("_share"):
         return "share"
+    if key.endswith("_speedup"):
+        return "floor"
     return "count"
 
 
@@ -140,6 +142,15 @@ def compare_artifacts(
         elif kind == "timing":
             regressed = False
             reason = ""
+        elif kind == "floor":
+            # bigger-is-better (speedups): regress when the candidate drops
+            limit = base_value * (1.0 - rel_tol)
+            regressed = cand_value < limit
+            reason = (
+                f"{cand_value:,.3f} < {base_value:,.3f} (-{rel_tol:.0%} tolerance)"
+                if regressed
+                else ""
+            )
         else:
             limit = base_value * (1.0 + rel_tol)
             regressed = cand_value > limit

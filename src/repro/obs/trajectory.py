@@ -31,6 +31,9 @@ __all__ = [
     "QUICK_SUITE",
     "DEFAULT_SUITE",
     "ALL_MACHINES",
+    "SCALING_DATASET",
+    "SCALING_WORKERS",
+    "build_scaling_measurements",
     "build_trajectory_artifact",
     "write_trajectory_artifact",
 ]
@@ -45,11 +48,69 @@ QUICK_SUITE: tuple[str, ...] = ("LJGrp", "Twtr10")
 DEFAULT_SUITE: tuple[str, ...] = ("LJGrp", "Twtr10", "Frndstr", "SK")
 ALL_MACHINES: tuple[str, ...] = ("SkyLakeX", "Haswell", "Epyc")
 
+# Pinned multi-worker scaling run: the largest stand-in, phase 1 on the
+# process backend.  The gated metric is the *simulated* work-stealing
+# speedup over the exact tile costs (deterministic on any host); measured
+# wall-clock lands in ``info`` because CI runners have arbitrary core
+# counts (this container has one).
+SCALING_DATASET = "EU15"
+SCALING_WORKERS: tuple[int, ...] = (1, 2, 4)
+
+
+def build_scaling_measurements(
+    dataset: str = SCALING_DATASET,
+    workers: Iterable[int] = SCALING_WORKERS,
+) -> tuple[dict[str, float], dict[str, Any]]:
+    """Phase-1 scaling metrics for one dataset across worker counts.
+
+    Returns ``(metrics, info)``: gated metrics are the phase-1 hit count
+    (deterministic, backend-invariant) and per-worker-count simulated
+    speedups (``*_speedup`` keys — gated as a floor: a drop regresses);
+    ``info`` carries measured process-backend wall times and the measured
+    speedup ratio.
+    """
+    import time
+
+    from repro.core.count import count_hhh_hhn
+    from repro.core.structure import build_lotus_graph
+    from repro.core.tiling import tiles_for_phase1
+    from repro.graph import load_dataset
+    from repro.parallel.procpool import count_hhh_hhn_processes
+    from repro.parallel.scheduler import simulate_schedule
+
+    graph = load_dataset(dataset)
+    lotus = build_lotus_graph(graph)
+    seq = count_hhh_hhn(lotus)
+    metrics: dict[str, float] = {f"{dataset}.phase1.hits": int(sum(seq))}
+    info: dict[str, Any] = {}
+    for w in workers:
+        tiles = tiles_for_phase1(lotus.he, partitions=2 * w)
+        sim = simulate_schedule(tiles, w)
+        metrics[f"{dataset}.phase1.workers{w}_sim_speedup"] = round(sim.speedup, 4)
+        started = time.perf_counter()
+        got = count_hhh_hhn_processes(lotus, workers=w)
+        elapsed = time.perf_counter() - started
+        if got != seq:  # pragma: no cover - correctness canary
+            raise AssertionError(
+                f"process backend diverged on {dataset} at workers={w}: "
+                f"{got} != {seq}"
+            )
+        info[f"{dataset}.phase1.workers{w}_seconds"] = round(elapsed, 4)
+    base = info.get(f"{dataset}.phase1.workers{min(workers)}_seconds")
+    for w in workers:
+        secs = info[f"{dataset}.phase1.workers{w}_seconds"]
+        if base and secs:
+            info[f"{dataset}.phase1.workers{w}_measured_speedup"] = round(
+                base / secs, 4
+            )
+    return metrics, info
+
 
 def build_trajectory_artifact(
     suite: Iterable[str] = DEFAULT_SUITE,
     machines: Iterable[str] = ALL_MACHINES,
     generated: str | None = None,
+    scaling: str | None = None,
 ) -> dict[str, Any]:
     """Measure the pinned suite and return the artifact as a plain dict.
 
@@ -110,12 +171,17 @@ def build_trajectory_artifact(
                         metrics[f"{base}.region.{region}.{level}_share"] = round(
                             share, 6
                         )
+    if scaling:
+        scaling_metrics, scaling_info = build_scaling_measurements(scaling)
+        metrics.update(scaling_metrics)
+        info.update(scaling_info)
     return {
         "schema": TRAJECTORY_SCHEMA_VERSION,
         "kind": "bench-trajectory",
         "generated": generated or datetime.date.today().isoformat(),
         "suite": list(suite),
         "machines": list(machines),
+        "scaling": scaling,
         "metrics": metrics,
         "info": info,
     }

@@ -7,22 +7,45 @@ cannot reproduce hardware scheduling, so this package provides:
 * :mod:`repro.parallel.partition` — global edge-balanced partitioning
   (the Table 9 comparator policy) alongside the per-vertex tilings of
   :mod:`repro.core.tiling`;
-* :mod:`repro.parallel.scheduler` — a deterministic scheduler simulator
-  computing per-thread busy/idle time from exact per-tile work, for both
-  dynamic (work-stealing-like) and static assignment;
+* :mod:`repro.parallel.scheduler` — the scheduling layer: a deterministic
+  simulator (per-thread busy/idle time from exact per-tile work), the
+  chunk autotuner, and the flat-array work-stealing deques;
 * :mod:`repro.parallel.executor` — a real thread-pool backend running
   the phase-1 tiles concurrently (NumPy kernels release the GIL in their
-  inner loops).
+  inner loops);
+* :mod:`repro.parallel.procpool` — a process-pool backend sharing the
+  Lotus structure and scheduler state via ``multiprocessing.shared_memory``;
+* :mod:`repro.parallel.backend` — selection layer mapping
+  ``auto | sequential | threads | processes`` onto the above.
 """
 
+from repro.parallel.backend import BACKENDS, BackendDecision, resolve_backend, run_phase1
+from repro.parallel.executor import count_hhh_hhn_parallel, count_hhh_hhn_parallel_split
 from repro.parallel.partition import edge_balanced_global_tiles
-from repro.parallel.scheduler import ScheduleResult, simulate_schedule, idle_time_pct
-from repro.parallel.executor import count_hhh_hhn_parallel
+from repro.parallel.procpool import WorkerCrashError, count_hhh_hhn_processes
+from repro.parallel.scheduler import (
+    ScheduleResult,
+    TileScheduler,
+    chunk_tiles,
+    idle_time_pct,
+    plan_assignment,
+    simulate_schedule,
+)
 
 __all__ = [
-    "edge_balanced_global_tiles",
+    "BACKENDS",
+    "BackendDecision",
     "ScheduleResult",
-    "simulate_schedule",
-    "idle_time_pct",
+    "TileScheduler",
+    "WorkerCrashError",
+    "chunk_tiles",
     "count_hhh_hhn_parallel",
+    "count_hhh_hhn_parallel_split",
+    "count_hhh_hhn_processes",
+    "edge_balanced_global_tiles",
+    "idle_time_pct",
+    "plan_assignment",
+    "resolve_backend",
+    "run_phase1",
+    "simulate_schedule",
 ]

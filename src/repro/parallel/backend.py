@@ -1,0 +1,104 @@
+"""Backend selection for the phase-1 workload.
+
+Three execution backends produce bit-identical counts:
+
+* ``sequential`` — the vectorised single-pass of
+  :func:`repro.core.count.count_hhh_hhn`;
+* ``threads``    — :mod:`repro.parallel.executor` (NumPy releases the
+  GIL, so threads help when tiles are large);
+* ``processes``  — :mod:`repro.parallel.procpool` (shared-memory pool;
+  immune to the GIL, pays a fork + one structure copy).
+
+``auto`` picks a backend from the workload shape: small HE sub-graphs
+are not worth any dispatch overhead; Python-level kernels need
+processes; everything else uses threads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.structure import LotusGraph
+from repro.obs import get_registry
+
+__all__ = ["BACKENDS", "BackendDecision", "resolve_backend", "run_phase1"]
+
+BACKENDS = ("auto", "sequential", "threads", "processes")
+
+# below this many HE arcs, parallel dispatch costs more than it saves
+_SMALL_HUB_EDGES = 1 << 15
+
+
+@dataclass(frozen=True)
+class BackendDecision:
+    """Resolved backend plus the reason it was chosen (for the ledger)."""
+
+    backend: str
+    workers: int
+    reason: str
+
+
+def resolve_backend(
+    backend: str = "auto",
+    workers: int = 4,
+    kernel: str = "vectorized",
+    hub_edges: int | None = None,
+) -> BackendDecision:
+    """Resolve ``auto`` (or validate an explicit choice) to a concrete backend.
+
+    ``kernel`` describes where the inner loop runs: ``"vectorized"``
+    kernels release the GIL inside NumPy, ``"python"`` kernels hold it
+    and only scale on processes.  ``hub_edges`` (|HE| arcs) gates the
+    small-graph cutoff.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if backend != "auto":
+        return BackendDecision(backend, workers, "explicit")
+    if workers == 1:
+        return BackendDecision("sequential", 1, "workers=1")
+    if hub_edges is not None and hub_edges < _SMALL_HUB_EDGES:
+        return BackendDecision(
+            "sequential", 1, f"hub_edges={hub_edges} < {_SMALL_HUB_EDGES}"
+        )
+    if kernel == "python":
+        return BackendDecision("processes", workers, "python-level kernel")
+    return BackendDecision("threads", workers, "vectorized kernel")
+
+
+def run_phase1(
+    lotus: LotusGraph,
+    backend: str = "auto",
+    workers: int = 4,
+    policy: str = "squared",
+    degree_threshold: int = 512,
+) -> tuple[int, int]:
+    """Run phase 1 (HHH + HHN) on the chosen backend; returns the split."""
+    decision = resolve_backend(
+        backend, workers, hub_edges=lotus.hub_edges
+    )
+    registry = get_registry()
+    registry.counter(f"parallel.sched.backend.{decision.backend}").add(1)
+    if decision.backend == "sequential":
+        from repro.core.count import count_hhh_hhn
+
+        return count_hhh_hhn(lotus)
+    if decision.backend == "threads":
+        from repro.parallel.executor import count_hhh_hhn_parallel_split
+
+        return count_hhh_hhn_parallel_split(
+            lotus,
+            threads=decision.workers,
+            policy=policy,
+            degree_threshold=degree_threshold,
+        )
+    from repro.parallel.procpool import count_hhh_hhn_processes
+
+    return count_hhh_hhn_processes(
+        lotus,
+        workers=decision.workers,
+        policy=policy,
+        degree_threshold=degree_threshold,
+    )

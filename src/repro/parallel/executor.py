@@ -5,6 +5,12 @@ release the GIL, so a :class:`~concurrent.futures.ThreadPoolExecutor`
 yields genuine concurrency for the tile-level parallelism of Section 4.6.
 Results are bit-identical to the sequential phase because triangle
 counting is a pure reduction.
+
+Scheduling-dependent metrics (tile/batch counts, queue waits) are
+namespaced ``parallel.sched.*`` — the run ledger classifies that prefix
+as the never-gated ``timing`` tolerance class, so runs with different
+worker counts or backends still produce identical *deterministic*
+metric snapshots (see ``docs/testing.md``).
 """
 
 from __future__ import annotations
@@ -20,7 +26,12 @@ from repro.core.tiling import Tile, tiles_for_phase1
 from repro.obs import get_registry
 from repro.util.arrays import concat_ranges
 
-__all__ = ["count_hhh_hhn_parallel", "run_phase1_tile"]
+__all__ = [
+    "count_hhh_hhn_parallel",
+    "count_hhh_hhn_parallel_split",
+    "run_phase1_tile",
+    "run_tile_batch",
+]
 
 
 def run_phase1_tile(lotus: LotusGraph, tile: Tile) -> int:
@@ -38,6 +49,34 @@ def run_phase1_tile(lotus: LotusGraph, tile: Tile) -> int:
     return int(np.count_nonzero(lotus.h2h.test_pairs(h1, h2)))
 
 
+def run_tile_batch(lotus: LotusGraph, batch: list[Tile]) -> tuple[int, int]:
+    """Execute a batch of tiles, returning the ``(hhh, hhn)`` split.
+
+    Whole-row tiles go through the cross-vertex vectorised kernel (one
+    NumPy pass per hub class); split tiles run individually.  A tile is
+    HHH work when its vertex is itself a hub, HHN otherwise — the split
+    falls out of cutting at ``hub_count`` exactly as in the sequential
+    :func:`repro.core.count.count_hhh_hhn`.  Used by both the thread
+    backend (below) and the process backend
+    (:mod:`repro.parallel.procpool`).
+    """
+    he_deg = lotus.he.degrees()
+    hc = lotus.hub_count
+    totals = [0, 0]  # [hhh, hhn]
+    whole: tuple[list[int], list[int]] = ([], [])
+    for t in batch:
+        cls = 0 if t.vertex < hc else 1
+        if t.start == 0 and t.stop == int(he_deg[t.vertex]):
+            whole[cls].append(t.vertex)
+        else:
+            totals[cls] += run_phase1_tile(lotus, t)
+    for cls in (0, 1):
+        if whole[cls]:
+            rows = np.asarray(whole[cls], dtype=np.int64)
+            totals[cls] += _batched_pair_count(lotus, rows)
+    return totals[0], totals[1]
+
+
 def _run_traced_tile(lotus: LotusGraph, tile: Tile, parent) -> int:
     """One tile under a span (only called while observability is enabled)."""
     registry = get_registry()
@@ -48,7 +87,7 @@ def _run_traced_tile(lotus: LotusGraph, tile: Tile, parent) -> int:
         span.set("stop", tile.stop)
         span.set("pair_work", tile.work)
         span.set("hits", hits)
-    registry.histogram("parallel.tile_work").observe(tile.work)
+    registry.histogram("parallel.sched.tile_work").observe(tile.work)
     return hits
 
 
@@ -63,6 +102,21 @@ def count_hhh_hhn_parallel(
     ``p = 2 * threads`` partitions per heavy vertex, as in Section 5.8.
     Returns the HHH+HHN total (identical to the sequential count).
     """
+    return sum(
+        count_hhh_hhn_parallel_split(
+            lotus, threads=threads, policy=policy,
+            degree_threshold=degree_threshold,
+        )
+    )
+
+
+def count_hhh_hhn_parallel_split(
+    lotus: LotusGraph,
+    threads: int = 4,
+    policy: str = "squared",
+    degree_threshold: int = 512,
+) -> tuple[int, int]:
+    """Like :func:`count_hhh_hhn_parallel` but returns ``(hhh, hhn)``."""
     if threads < 1:
         raise ValueError("threads must be >= 1")
     registry = get_registry()
@@ -78,15 +132,22 @@ def count_hhh_hhn_parallel(
         phase_span.set("tiles", len(tiles))
         if not tiles:
             phase_span.set("hits", 0)
-            return 0
-        registry.counter("parallel.tiles").add(len(tiles))
+            return 0, 0
+        registry.counter("parallel.sched.tiles").add(len(tiles))
         if threads == 1:
             if registry.enabled:
-                total = sum(_run_traced_tile(lotus, t, phase_span) for t in tiles)
+                hc = lotus.hub_count
+                hhh = hhn = 0
+                for t in tiles:
+                    hits = _run_traced_tile(lotus, t, phase_span)
+                    if t.vertex < hc:
+                        hhh += hits
+                    else:
+                        hhn += hits
             else:
-                total = sum(run_phase1_tile(lotus, t) for t in tiles)
-            phase_span.set("hits", total)
-            return total
+                hhh, hhn = run_tile_batch(lotus, tiles)
+            phase_span.set("hits", hhh + hhn)
+            return hhh, hhn
         # deal tiles into a few batches per worker (round-robin keeps the
         # per-batch work balanced since tiles are already work-equalised);
         # one Python task per batch keeps dispatch overhead negligible
@@ -94,38 +155,28 @@ def count_hhh_hhn_parallel(
         batches: list[list[Tile]] = [[] for _ in range(num_batches)]
         for i, tile in enumerate(tiles):
             batches[i % num_batches].append(tile)
-        registry.counter("parallel.batches").add(num_batches)
+        registry.counter("parallel.sched.batches").add(num_batches)
 
-        he_deg = lotus.he.degrees()
-
-        def is_whole_row(t: Tile) -> bool:
-            return t.start == 0 and t.stop == int(he_deg[t.vertex])
-
-        def run_batch(batch: list[Tile]) -> int:
-            # whole-row tiles go through the cross-vertex vectorised kernel
-            # (one NumPy pass per batch); split tiles run individually
-            whole_rows = np.array(
-                [t.vertex for t in batch if is_whole_row(t)], dtype=np.int64
-            )
-            total = _batched_pair_count(lotus, whole_rows) if whole_rows.size else 0
-            total += sum(
-                run_phase1_tile(lotus, t) for t in batch if not is_whole_row(t)
-            )
-            return total
-
-        def run_batch_traced(batch: list[Tile], submitted: float) -> int:
+        def run_batch_traced(batch: list[Tile], submitted: float) -> tuple[int, int]:
             # spans cross the thread boundary: the phase span is handed over
             # as the explicit parent (worker threads have no span stack)
             started = time.perf_counter()
+            hc = lotus.hub_count
             with registry.span("batch", parent=phase_span) as span:
-                total = sum(_run_traced_tile(lotus, t, span) for t in batch)
+                hhh = hhn = 0
+                for t in batch:
+                    hits = _run_traced_tile(lotus, t, span)
+                    if t.vertex < hc:
+                        hhh += hits
+                    else:
+                        hhn += hits
                 span.set("tiles", len(batch))
                 span.set("queue_wait_s", started - submitted)
-                span.set("hits", total)
-            registry.histogram("parallel.queue_wait_s", _WAIT_BUCKETS).observe(
+                span.set("hits", hhh + hhn)
+            registry.histogram("parallel.sched.queue_wait_s", _WAIT_BUCKETS).observe(
                 started - submitted
             )
-            return total
+            return hhh, hhn
 
         with ThreadPoolExecutor(max_workers=threads) as pool:
             if registry.enabled:
@@ -134,11 +185,15 @@ def count_hhh_hhn_parallel(
                     pool.submit(run_batch_traced, batch, submitted)
                     for batch in batches
                 ]
-                total = sum(f.result() for f in futures)
+                parts = [f.result() for f in futures]
             else:
-                total = sum(pool.map(run_batch, batches))
-        phase_span.set("hits", total)
-        return total
+                parts = list(
+                    pool.map(lambda batch: run_tile_batch(lotus, batch), batches)
+                )
+        hhh = sum(p[0] for p in parts)
+        hhn = sum(p[1] for p in parts)
+        phase_span.set("hits", hhh + hhn)
+        return hhh, hhn
 
 
 # sub-millisecond to ~1 s: thread-pool queue waits on tile batches

@@ -1,0 +1,269 @@
+"""Process-pool execution of phase 1 over shared memory.
+
+The thread backend is bounded by the GIL whenever a kernel spends time
+in Python bytecode; this backend sidesteps it entirely.  The Lotus
+structure is copied once into a ``multiprocessing.shared_memory``
+segment (:meth:`repro.core.structure.LotusGraph.to_shared`) and worker
+processes rebuild zero-copy views, so per-worker memory overhead is a
+few pages regardless of graph size.
+
+Scheduling state — the work-stealing deques of
+:class:`repro.parallel.scheduler.TileScheduler` plus the flattened tile
+table — lives in a second shared segment, so steals are visible across
+processes through ordinary array writes guarded by per-worker locks.
+
+Counts are bit-identical to the sequential phase for any worker count:
+every tile is executed exactly once and integer addition is associative.
+Both segments are unlinked in a ``finally`` block, including when a
+worker crashes (exercised by the fault-injection tests via
+``fault_worker``).
+"""
+
+from __future__ import annotations
+
+import os
+import queue as queue_mod
+import time
+
+import numpy as np
+
+from repro.core.structure import LotusGraph
+from repro.core.tiling import Tile, tiles_for_phase1
+from repro.obs import get_registry
+from repro.parallel.scheduler import TileScheduler, chunk_tiles, plan_assignment
+from repro.util.shm import share_arrays
+
+__all__ = ["WorkerCrashError", "count_hhh_hhn_processes", "FAULT_EXIT_CODE"]
+
+# exit code used by injected worker faults (distinct from signal deaths)
+FAULT_EXIT_CODE = 23
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker process died before reporting its partial counts."""
+
+    def __init__(self, message: str, exitcodes: dict[int, int | None]):
+        super().__init__(message)
+        self.exitcodes = exitcodes
+
+
+def _preferred_context(start_method: str | None):
+    import multiprocessing
+
+    if start_method is None:
+        methods = multiprocessing.get_all_start_methods()
+        start_method = "fork" if "fork" in methods else "spawn"
+    return multiprocessing.get_context(start_method)
+
+
+def _worker_main(
+    worker_id: int,
+    graph_manifest: dict,
+    sched_manifest: dict,
+    locks,
+    result_queue,
+    fault_worker: int | None,
+) -> None:
+    """Worker entry point: attach, drain the deques, report partials."""
+    if fault_worker == worker_id:
+        # simulate a hard crash (segfault / OOM-kill): no cleanup, no result
+        os._exit(FAULT_EXIT_CODE)
+    started = time.perf_counter()
+    # late import keeps the spawn pickle payload to plain manifests
+    from repro.parallel.executor import run_tile_batch
+    from repro.util.shm import attach_arrays
+
+    lotus, graph_handle = LotusGraph.from_shared(graph_manifest)
+    sched_handle = attach_arrays(sched_manifest)
+    arrs = sched_handle.arrays
+    sched = TileScheduler(arrs["queue"], arrs["bounds"], arrs["region"], locks)
+    chunk_indptr = arrs["chunk_indptr"]
+    tv, ts, te, tw = (
+        arrs["tile_vertex"], arrs["tile_start"], arrs["tile_stop"], arrs["tile_work"],
+    )
+    hhh = hhn = 0
+    executed = stolen = 0
+    while True:
+        chunk, was_stolen = sched.next_chunk(worker_id)
+        if chunk is None:
+            break
+        lo, hi = int(chunk_indptr[chunk]), int(chunk_indptr[chunk + 1])
+        batch = [
+            Tile(int(tv[i]), int(ts[i]), int(te[i]), int(tw[i]))
+            for i in range(lo, hi)
+        ]
+        a, b = run_tile_batch(lotus, batch)
+        hhh += a
+        hhn += b
+        executed += 1
+        if was_stolen:
+            stolen += 1
+    result_queue.put(
+        {
+            "worker": worker_id,
+            "hhh": hhh,
+            "hhn": hhn,
+            "executed": executed,
+            "stolen": stolen,
+            "wall_s": time.perf_counter() - started,
+        }
+    )
+    del lotus, sched, arrs, chunk_indptr, tv, ts, te, tw
+    graph_handle.close()
+    sched_handle.close()
+
+
+def count_hhh_hhn_processes(
+    lotus: LotusGraph,
+    workers: int = 4,
+    policy: str = "squared",
+    degree_threshold: int = 512,
+    chunks_per_worker: int = 8,
+    start_method: str | None = None,
+    fault_worker: int | None = None,
+) -> tuple[int, int]:
+    """Phase 1 on a pool of processes sharing the Lotus structure.
+
+    Returns the ``(hhh, hhn)`` split, bit-identical to the sequential
+    :func:`repro.core.count.count_hhh_hhn` for any ``workers``.
+    ``fault_worker`` (tests only) makes that worker die with
+    ``FAULT_EXIT_CODE`` before touching shared memory; the call then
+    raises :class:`WorkerCrashError` after unlinking both segments.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    registry = get_registry()
+    with registry.span(
+        "phase1-processes", workers=workers, policy=policy
+    ) as phase_span:
+        tiles = tiles_for_phase1(
+            lotus.he,
+            partitions=2 * workers,
+            policy=policy,
+            degree_threshold=degree_threshold,
+        )
+        phase_span.set("tiles", len(tiles))
+        if not tiles:
+            phase_span.set("hits", 0)
+            return 0, 0
+
+        bounds = chunk_tiles(tiles, workers, chunks_per_worker)
+        num_chunks = int(bounds.size - 1)
+        tile_work = np.array([t.work for t in tiles], dtype=np.int64)
+        chunk_costs = np.add.reduceat(tile_work.astype(np.float64), bounds[:-1])
+        deques = plan_assignment(chunk_costs, workers)
+        local_sched = TileScheduler.build(
+            deques, locks=[_NULL_LOCK] * workers
+        )
+
+        ctx = _preferred_context(start_method)
+        graph_handle = lotus.to_shared()
+        sched_handle = share_arrays(
+            {
+                "queue": local_sched.queue,
+                "bounds": local_sched.bounds,
+                "region": local_sched.region,
+                "chunk_indptr": bounds,
+                "tile_vertex": np.array([t.vertex for t in tiles], dtype=np.int64),
+                "tile_start": np.array([t.start for t in tiles], dtype=np.int64),
+                "tile_stop": np.array([t.stop for t in tiles], dtype=np.int64),
+                "tile_work": tile_work,
+            },
+            meta={"kind": "tile-scheduler", "workers": workers},
+        )
+        shm_bytes = graph_handle.nbytes + sched_handle.nbytes
+        registry.counter("parallel.sched.tiles").add(len(tiles))
+        registry.counter("parallel.sched.chunks").add(num_chunks)
+        registry.gauge("parallel.sched.shm_bytes").set(shm_bytes)
+        phase_span.set("chunks", num_chunks)
+        phase_span.set("shm_bytes", shm_bytes)
+
+        locks = [ctx.Lock() for _ in range(workers)]
+        result_queue = ctx.Queue()
+        procs = []
+        try:
+            for w in range(workers):
+                p = ctx.Process(
+                    target=_worker_main,
+                    args=(
+                        w,
+                        graph_handle.manifest,
+                        sched_handle.manifest,
+                        locks,
+                        result_queue,
+                        fault_worker,
+                    ),
+                    daemon=True,
+                )
+                p.start()
+                procs.append(p)
+
+            results: dict[int, dict] = {}
+            while len(results) < workers:
+                try:
+                    r = result_queue.get(timeout=0.1)
+                    results[r["worker"]] = r
+                    continue
+                except queue_mod.Empty:
+                    pass
+                dead = [
+                    w for w, p in enumerate(procs)
+                    if p.exitcode not in (None, 0) and w not in results
+                ]
+                if dead:
+                    for p in procs:
+                        p.terminate()
+                    raise WorkerCrashError(
+                        f"worker(s) {dead} died with exit codes "
+                        f"{[procs[w].exitcode for w in dead]}",
+                        {w: p.exitcode for w, p in enumerate(procs)},
+                    )
+                if all(p.exitcode is not None for p in procs):
+                    raise WorkerCrashError(
+                        "all workers exited but results are missing",
+                        {w: p.exitcode for w, p in enumerate(procs)},
+                    )
+            for p in procs:
+                p.join(timeout=10.0)
+        finally:
+            for p in procs:
+                if p.is_alive():  # pragma: no cover - crash path hygiene
+                    p.terminate()
+                    p.join(timeout=5.0)
+            result_queue.close()
+            graph_handle.unlink()
+            sched_handle.unlink()
+
+        hhh = sum(r["hhh"] for r in results.values())
+        hhn = sum(r["hhn"] for r in results.values())
+        total_stolen = sum(r["stolen"] for r in results.values())
+        registry.counter("parallel.sched.tasks_executed").add(
+            sum(r["executed"] for r in results.values())
+        )
+        registry.counter("parallel.sched.tasks_stolen").add(total_stolen)
+        wall_hist = registry.histogram("parallel.sched.worker_wall_s")
+        for w in sorted(results):
+            r = results[w]
+            wall_hist.observe(r["wall_s"])
+            with registry.span("worker", parent=phase_span) as wspan:
+                wspan.set("worker", w)
+                wspan.set("executed", r["executed"])
+                wspan.set("stolen", r["stolen"])
+                wspan.set("wall_s", r["wall_s"])
+                wspan.set("hits", r["hhh"] + r["hhn"])
+        phase_span.set("hits", hhh + hhn)
+        phase_span.set("tasks_stolen", total_stolen)
+        return hhh, hhn
+
+
+class _NullLock:
+    """Placeholder lock for building scheduler arrays in the parent."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_LOCK = _NullLock()

@@ -83,6 +83,11 @@ def intersect_count_bitmap(a: np.ndarray, b: np.ndarray, universe: int | None = 
 
     Marks ``a`` in a dense boolean array over the ID universe, then tests
     ``b``.  Cost is O(|a| + |b|) plus the (amortisable) bitmap clear.
+
+    An explicit ``universe`` is a promise about the marked set: every
+    element of ``a`` must fit (``ValueError`` otherwise — silently
+    dropping marks would undercount).  Elements of ``b`` outside the
+    universe cannot have been marked and simply contribute zero.
     """
     a = np.asarray(a)
     b = np.asarray(b)
@@ -90,9 +95,14 @@ def intersect_count_bitmap(a: np.ndarray, b: np.ndarray, universe: int | None = 
         return 0
     if universe is None:
         universe = int(max(a.max(), b.max())) + 1
+    elif a.max() >= universe:
+        raise ValueError(
+            f"universe={universe} cannot hold element {int(a.max())} of a"
+        )
     bitmap = np.zeros(universe, dtype=bool)
     bitmap[a] = True
-    return int(np.count_nonzero(bitmap[b]))
+    b = b[b < universe]
+    return int(np.count_nonzero(bitmap[b])) if b.size else 0
 
 
 def intersect_count_galloping(a: np.ndarray, b: np.ndarray) -> int:

@@ -1,0 +1,199 @@
+"""Zero-copy NumPy array sharing over ``multiprocessing.shared_memory``.
+
+The process backend (:mod:`repro.parallel.procpool`) places the CSR /
+LOTUS arrays into one POSIX shared-memory segment so worker processes
+reconstruct them as views without copying or pickling the payload.  This
+module is the substrate: :func:`share_arrays` packs a named set of
+arrays into a fresh segment and returns a handle whose picklable
+``manifest`` describes the layout; :func:`attach_arrays` re-opens the
+segment from a manifest and rebuilds the views.
+
+Lifecycle rules (tested under injected worker crashes):
+
+* the **creator** owns the segment: only its handle unlinks, and
+  :meth:`SharedArrays.unlink` is idempotent so error paths can call it
+  unconditionally;
+* **attachers** are unregistered from the CPython resource tracker
+  (which would otherwise also try to unlink the segment at interpreter
+  exit and warn about "leaked" objects — the creator is the single
+  owner);
+* ``close`` is best-effort: NumPy views exported from the buffer keep
+  the mapping alive, and the mapping dies with the process anyway.
+"""
+
+from __future__ import annotations
+
+import secrets
+from multiprocessing import shared_memory
+from typing import Any, Mapping
+
+import numpy as np
+
+__all__ = ["SharedArrays", "share_arrays", "attach_arrays"]
+
+# offsets are padded to cacheline size: keeps every array aligned for any
+# dtype and avoids false sharing between adjacent arrays
+_ALIGN = 64
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class SharedArrays:
+    """Handle for one shared-memory segment holding named NumPy arrays.
+
+    ``manifest`` is a plain picklable dict (send it to workers);
+    ``arrays`` maps each key to a view backed by the segment.  The
+    creating process should ``unlink()`` when all workers are done —
+    both are safe to call twice.
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        manifest: dict[str, Any],
+        arrays: dict[str, np.ndarray],
+        owner: bool,
+    ) -> None:
+        self._shm = shm
+        self.manifest = manifest
+        self.arrays = arrays
+        self.owner = owner
+        self._unlinked = False
+        self._closed = False
+
+    @property
+    def name(self) -> str:
+        return self.manifest["segment"]
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.manifest["nbytes"])
+
+    @property
+    def meta(self) -> dict[str, Any]:
+        return self.manifest.get("meta", {})
+
+    def close(self) -> None:
+        """Release this process's mapping (best-effort; see module doc)."""
+        if self._closed:
+            return
+        self.arrays = {}
+        try:
+            self._shm.close()
+        except BufferError:
+            # live NumPy views still reference the buffer; the mapping is
+            # reclaimed when they are garbage-collected or the process exits
+            return
+        self._closed = True
+
+    def unlink(self) -> None:
+        """Remove the segment name (idempotent; owner's responsibility)."""
+        if self._unlinked:
+            return
+        self._unlinked = True
+        # Under the fork start method, workers share the parent's resource
+        # tracker, so a worker's attach-time unregister (see _untrack) drops
+        # the creator's registration too.  Re-registering is idempotent (the
+        # tracker cache is a set) and guarantees the unregister inside
+        # SharedMemory.unlink() finds the entry instead of logging KeyError.
+        try:  # pragma: no cover - tracker internals
+            from multiprocessing import resource_tracker
+
+            resource_tracker.register(self._shm._name, "shared_memory")  # type: ignore[attr-defined]
+        except Exception:
+            pass
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "SharedArrays":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+        if self.owner:
+            self.unlink()
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedArrays({self.name!r}, {len(self.manifest['arrays'])} arrays, "
+            f"{self.nbytes} bytes, owner={self.owner})"
+        )
+
+
+def share_arrays(
+    arrays: Mapping[str, np.ndarray],
+    meta: dict[str, Any] | None = None,
+    name: str | None = None,
+) -> SharedArrays:
+    """Copy ``arrays`` into one fresh shared-memory segment.
+
+    ``meta`` rides along in the manifest (picklable scalars only) — the
+    graph classes use it for shape/config fields.  The single copy here
+    is the only copy: workers attach views.
+    """
+    specs: list[dict[str, Any]] = []
+    offset = 0
+    for key, array in arrays.items():
+        array = np.ascontiguousarray(array)
+        offset = _aligned(offset)
+        specs.append(
+            {
+                "key": key,
+                "dtype": array.dtype.str,
+                "shape": list(array.shape),
+                "offset": offset,
+            }
+        )
+        offset += array.nbytes
+    total = max(offset, 1)  # SharedMemory rejects size 0
+    segment_name = name or f"repro-{secrets.token_hex(8)}"
+    shm = shared_memory.SharedMemory(name=segment_name, create=True, size=total)
+    manifest = {
+        "segment": shm.name,
+        "nbytes": total,
+        "meta": dict(meta or {}),
+        "arrays": specs,
+    }
+    views: dict[str, np.ndarray] = {}
+    for spec, (key, array) in zip(specs, arrays.items()):
+        view = np.ndarray(
+            tuple(spec["shape"]), dtype=np.dtype(spec["dtype"]),
+            buffer=shm.buf, offset=spec["offset"],
+        )
+        view[...] = np.ascontiguousarray(array)
+        views[key] = view
+    return SharedArrays(shm, manifest, views, owner=True)
+
+
+def attach_arrays(manifest: dict[str, Any]) -> SharedArrays:
+    """Re-open a segment described by ``manifest`` and rebuild the views.
+
+    The attachment is unregistered from the resource tracker so the
+    creator stays the sole owner of the segment lifecycle.
+    """
+    shm = shared_memory.SharedMemory(name=manifest["segment"])
+    _untrack(shm)
+    arrays = {
+        spec["key"]: np.ndarray(
+            tuple(spec["shape"]), dtype=np.dtype(spec["dtype"]),
+            buffer=shm.buf, offset=spec["offset"],
+        )
+        for spec in manifest["arrays"]
+    }
+    return SharedArrays(shm, manifest, arrays, owner=False)
+
+
+def _untrack(shm: shared_memory.SharedMemory) -> None:
+    # Until 3.13's track=False, every attach re-registers the segment
+    # with the resource tracker, which then double-unlinks (and warns) at
+    # interpreter exit.  The creator is the owner; drop the extra claim.
+    try:  # pragma: no cover - platform-dependent internals
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")  # type: ignore[attr-defined]
+    except Exception:
+        pass

@@ -58,6 +58,31 @@ class TestCount:
         with pytest.raises(SystemExit):
             main(["count"])
 
+    @pytest.mark.parametrize("backend", ["sequential", "threads", "processes"])
+    def test_backend_flags_agree(self, backend, capsys):
+        assert main([
+            "count", "--dataset", "LJGrp", "--backend", backend, "--workers", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "616,437" in out
+        assert f"backend: {backend} (workers=2)" in out
+
+    def test_backend_auto_resolves(self, capsys):
+        assert main(["count", "--dataset", "LJGrp", "--backend", "auto"]) == 0
+        out = capsys.readouterr().out
+        assert "616,437" in out and "backend: " in out
+
+    def test_backend_requires_lotus(self, edgelist_file):
+        with pytest.raises(SystemExit):
+            main([
+                "count", "--file", edgelist_file,
+                "--algorithm", "forward", "--backend", "threads",
+            ])
+
+    def test_invalid_worker_count(self, edgelist_file):
+        with pytest.raises(SystemExit):
+            main(["count", "--file", edgelist_file, "--workers", "0"])
+
 
 class TestOtherCommands:
     def test_analyze(self, edgelist_file, capsys):

@@ -51,6 +51,7 @@ _METRICS = {
     "LJGrp.SkyLakeX.forward.llc_misses": 100000,
     "LJGrp.SkyLakeX.forward.dtlb_misses": 5000,
     "LJGrp.SkyLakeX.lotus.region.he.llc_share": 0.66,
+    "EU15.phase1.workers4_sim_speedup": 4.0,
 }
 
 
@@ -99,6 +100,24 @@ class TestCompareArtifacts:
     def test_share_drift_within_tol_passes(self):
         cand = dict(_METRICS)
         cand["LJGrp.SkyLakeX.lotus.region.he.llc_share"] = 0.66 + DEFAULT_SHARE_TOL / 2
+        assert regressions(compare_artifacts(_artifact(_METRICS), _artifact(cand))) == []
+
+    def test_speedup_drop_beyond_tol_regresses(self):
+        cand = dict(_METRICS)
+        cand["EU15.phase1.workers4_sim_speedup"] = 4.0 * (1 - DEFAULT_REL_TOL) - 0.01
+        bad = regressions(compare_artifacts(_artifact(_METRICS), _artifact(cand)))
+        assert [d.key for d in bad] == ["EU15.phase1.workers4_sim_speedup"]
+        assert bad[0].kind == "floor"
+
+    def test_speedup_within_tol_passes(self):
+        cand = dict(_METRICS)
+        cand["EU15.phase1.workers4_sim_speedup"] = 4.0 * (1 - DEFAULT_REL_TOL / 2)
+        assert regressions(compare_artifacts(_artifact(_METRICS), _artifact(cand))) == []
+
+    def test_speedup_improvement_passes(self):
+        # a floor metric gates only the downside: better scaling is fine
+        cand = dict(_METRICS)
+        cand["EU15.phase1.workers4_sim_speedup"] = 8.0
         assert regressions(compare_artifacts(_artifact(_METRICS), _artifact(cand))) == []
 
     def test_missing_tracked_metric_is_a_regression(self):

@@ -89,14 +89,14 @@ def test_tile_spans_sum_to_phase_span(skewed_lotus, sequential_counts, threads):
         assert all(b.elapsed <= phase.elapsed for b in batches)
 
     snap = reg.snapshot()
-    assert snap["counters"]["parallel.tiles"] == len(tiles)
-    assert snap["histograms"]["parallel.tile_work"]["count"] == len(tiles)
-    assert snap["histograms"]["parallel.tile_work"]["sum"] == pytest.approx(
+    assert snap["counters"]["parallel.sched.tiles"] == len(tiles)
+    assert snap["histograms"]["parallel.sched.tile_work"]["count"] == len(tiles)
+    assert snap["histograms"]["parallel.sched.tile_work"]["sum"] == pytest.approx(
         float(expected_work)
     )
     if threads > 1:
-        assert snap["histograms"]["parallel.queue_wait_s"]["count"] == (
-            snap["counters"]["parallel.batches"]
+        assert snap["histograms"]["parallel.sched.queue_wait_s"]["count"] == (
+            snap["counters"]["parallel.sched.batches"]
         )
 
 

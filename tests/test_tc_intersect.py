@@ -70,6 +70,53 @@ class TestScalarKernels:
         assert intersect_count_binary(a, b) == intersect_count_binary(b, a)
 
 
+class TestBitmapUniverse:
+    """The explicit-``universe`` contract of the bitmap kernel.
+
+    Regression for the crash found by the differential fuzzer: with a
+    caller-supplied universe smaller than ``b.max()+1`` the kernel raised
+    ``IndexError`` instead of treating out-of-universe probes as misses.
+    """
+
+    def test_b_outside_universe_contributes_zero(self):
+        a = np.array([1, 3, 5], dtype=np.int64)
+        b = np.array([3, 5, 70, 99], dtype=np.int64)
+        # universe holds every element of a but not of b -> no crash,
+        # out-of-universe b elements are plain misses
+        assert intersect_count_bitmap(a, b, universe=6) == 2
+
+    def test_all_b_outside_universe(self):
+        a = np.array([0, 1], dtype=np.int64)
+        b = np.array([10, 11], dtype=np.int64)
+        assert intersect_count_bitmap(a, b, universe=2) == 0
+
+    def test_a_outside_universe_raises(self):
+        a = np.array([1, 9], dtype=np.int64)
+        b = np.array([1], dtype=np.int64)
+        with pytest.raises(ValueError, match="universe=4"):
+            intersect_count_bitmap(a, b, universe=4)
+
+    def test_empty_inputs_ignore_universe(self):
+        empty = np.array([], dtype=np.int64)
+        big = np.array([100], dtype=np.int64)
+        # empty short-circuits before the universe check
+        assert intersect_count_bitmap(empty, big, universe=1) == 0
+        assert intersect_count_bitmap(big, empty, universe=1) == 0
+
+    def test_default_universe_infers_from_both(self):
+        a = np.array([2], dtype=np.int64)
+        b = np.array([2, 1000], dtype=np.int64)
+        assert intersect_count_bitmap(a, b) == 1
+
+    @given(sorted_arrays, sorted_arrays)
+    @settings(max_examples=60)
+    def test_tight_universe_matches_merge(self, a, b):
+        universe = int(a.max()) + 1 if a.size else 1
+        assert intersect_count_bitmap(a, b, universe=universe) == (
+            intersect_count_merge(a, b)
+        )
+
+
 class TestMergeJoinCost:
     def _literal_cost(self, a, b):
         i = j = steps = 0
