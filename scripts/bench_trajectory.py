@@ -33,6 +33,7 @@ from repro.obs.trajectory import (  # noqa: E402  (path bootstrap above)
     DEFAULT_SUITE,
     QUICK_SUITE,
     SCALING_DATASET,
+    SERVE_DATASET,
     build_trajectory_artifact,
     write_trajectory_artifact,
 )
@@ -58,6 +59,11 @@ def main(argv: list[str] | None = None) -> int:
                              f"run (default dataset: {SCALING_DATASET}; "
                              "simulated speedups are gated, wall-clock is "
                              "informational)")
+    parser.add_argument("--serve", nargs="?", const=SERVE_DATASET,
+                        default=None, metavar="DATASET",
+                        help="also record a scripted serve session (default "
+                             f"dataset: {SERVE_DATASET}); the serve.* keys "
+                             "are timing-kind — trended, never gated")
     parser.add_argument("--ledger", metavar="DIR", default=None,
                         help="run-ledger directory (default: runs/ at the "
                              "repo root)")
@@ -68,7 +74,7 @@ def main(argv: list[str] | None = None) -> int:
     started = time.perf_counter()
     artifact = build_trajectory_artifact(
         suite=suite, machines=tuple(args.machines), generated=args.date,
-        scaling=args.scaling,
+        scaling=args.scaling, serve=args.serve,
     )
     path = write_trajectory_artifact(artifact, args.out, baseline=args.baseline)
     elapsed = time.perf_counter() - started
@@ -88,6 +94,7 @@ def main(argv: list[str] | None = None) -> int:
                 "machines": list(args.machines),
                 "baseline": bool(args.baseline),
                 "scaling": args.scaling,
+                "serve": args.serve,
             },
             meta={"artifact_path": str(path), "elapsed": elapsed},
             artifact=artifact,

@@ -22,9 +22,16 @@ Commands:
   see ``docs/runs.md``).  ``diff`` applies the same tolerance logic as
   ``repro.obs.regress``; ``export --format trace`` emits Chrome
   ``trace_event`` JSON loadable in Perfetto.
+* ``serve``       — JSON-lines query loop over a warm structure cache:
+  one request object per input line, one stable-field-order response
+  per output line (see ``docs/serving.md``);
+* ``query``       — one-shot client: runs one query through the engine
+  (warming the cache first by default) and prints the JSON result.
 
 Input errors (missing files, malformed artifacts, unresolvable run
 references) print a one-line ``error: ...`` and exit with status 2.
+Malformed *request lines* inside a ``serve`` session do not kill the
+session: each gets a per-request error response on stdout instead.
 """
 
 from __future__ import annotations
@@ -468,6 +475,220 @@ def cmd_runs_export(args: argparse.Namespace) -> int:
     return 0
 
 
+# JSON-line request fields accepted by `serve` (the engine's QueryRequest
+# minus in-process-only `graph`)
+_SERVE_FIELDS = (
+    "id", "dataset", "file", "op", "algorithm", "hub_count",
+    "backend", "workers", "timeout",
+)
+
+
+def _parse_request_line(line: str):
+    """Parse one JSON-lines request; returns ``(request, error_message)``."""
+    from repro.serve import QueryRequest
+
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        return None, f"malformed JSON: {exc}"
+    if not isinstance(obj, dict):
+        return None, f"request must be a JSON object, got {type(obj).__name__}"
+    unknown = sorted(set(obj) - set(_SERVE_FIELDS) - {"op"})
+    if unknown:
+        return None, f"unknown request field(s): {', '.join(unknown)}"
+    request = QueryRequest(**{k: obj[k] for k in _SERVE_FIELDS if k in obj})
+    if request.op == "stats":
+        # answered by the serve loop itself, never submitted to the engine
+        return request, None
+    try:
+        request.validate()
+    except (TypeError, ValueError) as exc:
+        return None, str(exc)
+    return request, None
+
+
+def _error_response(line_obj: str, message: str) -> dict:
+    """Stable-field-order error response for one bad request line."""
+    request_id = op = None
+    try:
+        obj = json.loads(line_obj)
+        if isinstance(obj, dict):
+            request_id = obj.get("id")
+            op = obj.get("op")
+    except json.JSONDecodeError:
+        pass
+    return {
+        "id": request_id,
+        "ok": False,
+        "op": op or "count",
+        "status": "error",
+        "error": message,
+    }
+
+
+def _stats_response(engine, request_id) -> dict:
+    stats = engine.stats()
+    return {
+        "id": request_id,
+        "ok": True,
+        "op": "stats",
+        "status": "ok",
+        "stats": stats,
+    }
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import QueryEngine, StructureCache
+
+    if args.cache_bytes < 1:
+        _fail("--cache-bytes must be >= 1")
+    if args.cache_entries < 1:
+        _fail("--cache-entries must be >= 1")
+    if args.max_queue < 1:
+        _fail("--max-queue must be >= 1")
+    if args.max_batch < 1:
+        _fail("--max-batch must be >= 1")
+    if args.input and not os.path.exists(args.input):
+        _fail(f"no such file: {args.input}")
+    stream = open(args.input, encoding="utf-8") if args.input else sys.stdin
+
+    def emit(obj: dict) -> None:
+        print(json.dumps(obj), flush=True)
+
+    served = 0
+    with use_registry() as registry:
+        cache = StructureCache(
+            max_bytes=args.cache_bytes,
+            max_entries=args.cache_entries,
+            share=args.share,
+        )
+        engine = QueryEngine(
+            cache,
+            max_queue=args.max_queue,
+            max_batch=args.max_batch,
+            backend=args.backend,
+            workers=args.workers,
+            default_timeout=args.timeout,
+        )
+        try:
+            engine.start()
+            if args.pipeline:
+                served = _serve_pipelined(engine, stream, emit, args.max_queue)
+            else:
+                served = _serve_sequential(engine, stream, emit)
+        finally:
+            engine.stop()
+            stats = cache.stats()
+            cache.clear()  # unlink any --share segments before exit
+            if args.input:
+                stream.close()
+        print(
+            f"served {served} request(s): {stats['hits']} hit / "
+            f"{stats['misses']} miss / {stats['evicting_misses']} eviction "
+            f"({stats['entries']} entries, {stats['bytes']:,} bytes resident)",
+            file=sys.stderr,
+        )
+        if args.metrics_output:
+            with open(args.metrics_output, "w", encoding="utf-8") as fh:
+                json.dump(registry.family("serve"), fh, indent=2)
+                fh.write("\n")
+            print(f"wrote serve metrics to {args.metrics_output}", file=sys.stderr)
+    return 0
+
+
+def _serve_sequential(engine, stream, emit) -> int:
+    """One request in, one response out — no cross-request batching."""
+    served = 0
+    for line in stream:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        served += 1
+        request, error = _parse_request_line(line)
+        if error is not None:
+            emit(_error_response(line, error))
+            continue
+        if request.op == "stats":
+            emit(_stats_response(engine, request.id))
+            continue
+        result = engine.query(request)
+        emit(result.to_json_dict())
+    return served
+
+
+def _serve_pipelined(engine, stream, emit, window: int) -> int:
+    """Submit up to ``window`` requests before collecting, so same-graph
+    neighbours coalesce into micro-batches; responses keep input order."""
+    from repro.serve import QueueFullError
+
+    served = 0
+    pending: list = []  # (ticket | dict) in input order
+
+    def flush() -> None:
+        for item in pending:
+            emit(item.result().to_json_dict() if hasattr(item, "result") else item)
+        pending.clear()
+
+    for line in stream:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        served += 1
+        request, error = _parse_request_line(line)
+        if error is not None:
+            pending.append(_error_response(line, error))
+            continue
+        if request.op == "stats":
+            flush()  # stats reflect every request submitted before it
+            emit(_stats_response(engine, request.id))
+            continue
+        try:
+            pending.append(engine.submit(request))
+        except QueueFullError as exc:
+            pending.append(_error_response(line, str(exc)))
+        if len(pending) >= window:
+            flush()
+    flush()
+    return served
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    from repro.serve import QueryEngine, QueryRequest, StructureCache
+
+    if args.dataset and args.dataset not in DATASETS:
+        _fail(f"unknown dataset {args.dataset!r}; see `repro datasets`")
+    if args.file and not os.path.exists(args.file):
+        _fail(f"no such file: {args.file}")
+    if not args.dataset and not args.file:
+        _fail("specify --dataset NAME or --file PATH")
+    if args.warm < 0:
+        _fail("--warm must be >= 0")
+
+    def request() -> "QueryRequest":
+        return QueryRequest(
+            dataset=args.dataset,
+            file=args.file,
+            algorithm=args.algorithm,
+            hub_count=args.hub_count,
+            backend=args.backend,
+            workers=args.workers,
+            timeout=args.timeout,
+            id=args.id,
+        )
+
+    with use_registry():
+        with QueryEngine(
+            StructureCache(), backend=args.backend, workers=args.workers
+        ) as engine:
+            for _ in range(args.warm):
+                warm = engine.query(request())
+                if warm.status != "ok":
+                    _fail(f"warm-up query failed: {warm.error or warm.status}")
+            result = engine.query(request())
+    print(json.dumps(result.to_json_dict()))
+    return 0 if result.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="LOTUS triangle counting reproduction"
@@ -587,6 +808,57 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--output", help="write here instead of stdout")
     _add_ledger_arg(sp)
     sp.set_defaults(fn=cmd_runs_export)
+
+    p = sub.add_parser(
+        "serve", help="JSON-lines query loop over a warm structure cache"
+    )
+    p.add_argument("--input", metavar="FILE",
+                   help="read request lines from FILE instead of stdin")
+    p.add_argument("--cache-bytes", type=int, default=256 << 20,
+                   help="structure-cache byte budget (default: 256 MiB)")
+    p.add_argument("--cache-entries", type=int, default=8,
+                   help="structure-cache entry budget (default: 8)")
+    p.add_argument("--max-queue", type=int, default=64,
+                   help="submission-queue capacity (default: 64)")
+    p.add_argument("--max-batch", type=int, default=8,
+                   help="micro-batch size bound (default: 8)")
+    p.add_argument("--backend", choices=("auto", "sequential", "threads", "processes"),
+                   default=None,
+                   help="default LOTUS phase-1 backend for queries")
+    p.add_argument("--workers", type=int, default=None,
+                   help="default pool size for --backend")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="default per-request deadline in seconds")
+    p.add_argument("--share", action="store_true",
+                   help="keep cached structures in shared memory so the "
+                        "process backend skips the per-dispatch copy")
+    p.add_argument("--pipeline", action="store_true",
+                   help="submit a window of requests before responding so "
+                        "same-graph neighbours coalesce into micro-batches "
+                        "(responses keep input order)")
+    p.add_argument("--metrics-output", metavar="FILE",
+                   help="write the serve.* metrics snapshot here on exit")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "query", help="one-shot query through the engine (warm cache first)"
+    )
+    _add_graph_args(p)
+    p.add_argument("--algorithm",
+                   choices=("lotus", "forward", "forward-hashed",
+                            "edge-iterator", "node-iterator", "block"),
+                   default="lotus")
+    p.add_argument("--hub-count", type=int, default=None)
+    p.add_argument("--backend", choices=("auto", "sequential", "threads", "processes"),
+                   default=None)
+    p.add_argument("--workers", type=int, default=None)
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-request deadline in seconds")
+    p.add_argument("--warm", type=int, default=1,
+                   help="cache-warming queries before the reported one "
+                        "(default: 1; 0 measures the cold path)")
+    p.add_argument("--id", default=None, help="request id echoed in the result")
+    p.set_defaults(fn=cmd_query)
     return parser
 
 

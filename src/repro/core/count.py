@@ -218,6 +218,7 @@ def lotus_count_from_structure(
     timer: PhaseTimer | None = None,
     backend: str | None = None,
     workers: int | None = None,
+    graph_manifest: dict | None = None,
 ) -> LotusCounts:
     """Run the three counting phases on a prebuilt structure.
 
@@ -225,7 +226,10 @@ def lotus_count_from_structure(
     (``auto | sequential | threads | processes``; ``None`` means
     sequential — phases 2 and 3 are fully vectorised single passes and
     always run in-process).  ``workers`` sizes the thread/process pool.
-    All backends are bit-identical.
+    ``graph_manifest`` optionally hands the process backend an existing
+    shared-memory manifest of ``lotus`` (the serving cache's segment) so
+    repeated dispatches skip the per-call structure copy.  All backends
+    are bit-identical.
     """
     timer = timer or PhaseTimer()
     with timed_phase(timer, "hhh+hhn") as span:
@@ -235,7 +239,12 @@ def lotus_count_from_structure(
             # local import: repro.parallel.executor imports this module
             from repro.parallel.backend import run_phase1
 
-            hhh, hhn = run_phase1(lotus, backend=backend, workers=workers or 4)
+            hhh, hhn = run_phase1(
+                lotus,
+                backend=backend,
+                workers=workers or 4,
+                graph_manifest=graph_manifest,
+            )
         if span.enabled:
             deg = lotus.he.degrees()
             span.set("pairs_tested", int((deg * (deg - 1) // 2).sum()))

@@ -417,6 +417,10 @@ def ledger_metric_kind(key: str) -> str:
         # shm sizes) vary with worker count and backend by design; they are
         # informational, so snapshots stay identical across backends
         return "timing"
+    if ".serve." in key or key.startswith("serve."):
+        # serving metrics (cache hit mixes, queue depths, latencies) depend
+        # on request arrival order and machine load; trend, never gate
+        return "timing"
     if key.endswith("_share") or key.startswith("gauge."):
         return "share"
     if key.endswith("_speedup"):

@@ -295,6 +295,20 @@ class MetricsRegistry:
                 },
             }
 
+    def family(self, prefix: str) -> dict[str, Any]:
+        """Snapshot restricted to one metric family (``prefix`` + ``"."``).
+
+        ``family("serve")`` returns only the ``serve.*`` counters, gauges
+        and histograms — the shape the serve CLI emits as its metrics
+        artifact.
+        """
+        dot = prefix if prefix.endswith(".") else prefix + "."
+        snap = self.snapshot()
+        return {
+            kind: {n: v for n, v in table.items() if n.startswith(dot)}
+            for kind, table in snap.items()
+        }
+
 
 class _NullCounter(Counter):
     __slots__ = ()

@@ -77,6 +77,10 @@ def load_artifact(path: str | pathlib.Path) -> dict[str, Any]:
 def _metric_kind(key: str) -> str:
     if key.endswith(".triangles"):
         return "exact"
+    if key.startswith("serve."):
+        # serving latencies / hit rates vary with machine load; they are
+        # tracked for trend lines, never gated
+        return "timing"
     if key.endswith("_share"):
         return "share"
     if key.endswith("_speedup"):

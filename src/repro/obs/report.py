@@ -39,6 +39,7 @@ __all__ = [
     "report_to_csv",
     "write_report",
     "render_span_tree",
+    "histogram_quantile",
 ]
 
 SCHEMA_VERSION = 1
@@ -128,6 +129,36 @@ def write_report(
         raise ValueError(f"unknown report format {fmt!r}")
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(text + ("\n" if not text.endswith("\n") else ""))
+
+
+def histogram_quantile(snapshot: dict[str, Any], q: float) -> float:
+    """Approximate quantile from a histogram *snapshot* dict.
+
+    Mirrors :meth:`repro.obs.registry.Histogram.quantile` but operates on
+    the plain-data form found in reports and metrics artifacts, so
+    offline consumers (``bench_trajectory``, the serve-smoke CI check)
+    can read latency quantiles without a live registry.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    buckets = snapshot.get("buckets") or []
+    counts = snapshot.get("counts") or []
+    total = snapshot.get("count", 0)
+    if not total:
+        return 0.0
+    fallback = float(
+        snapshot["max"] if snapshot.get("max") is not None
+        else (buckets[-1] if buckets else 0.0)
+    )
+    rank = q * total
+    seen = 0
+    for idx, c in enumerate(counts):
+        seen += c
+        if seen >= rank and c:
+            if idx < len(buckets):
+                return float(buckets[idx])
+            return fallback
+    return fallback
 
 
 def render_span_tree(span: Span, indent: int = 0) -> str:

@@ -33,7 +33,10 @@ __all__ = [
     "ALL_MACHINES",
     "SCALING_DATASET",
     "SCALING_WORKERS",
+    "SERVE_DATASET",
+    "SERVE_REQUESTS",
     "build_scaling_measurements",
+    "build_serve_measurements",
     "build_trajectory_artifact",
     "write_trajectory_artifact",
 ]
@@ -55,6 +58,14 @@ ALL_MACHINES: tuple[str, ...] = ("SkyLakeX", "Haswell", "Epyc")
 # counts (this container has one).
 SCALING_DATASET = "EU15"
 SCALING_WORKERS: tuple[int, ...] = (1, 2, 4)
+
+# Pinned serve session: repeated queries over one cached structure.  All
+# resulting keys carry the ``serve.`` prefix, which the regression gate
+# maps to the ``timing`` kind — recorded for trend lines, never gated
+# (latencies depend on machine load; the hit *mix* depends only on the
+# request plan but rides along under the same never-gate rule).
+SERVE_DATASET = "LJGrp"
+SERVE_REQUESTS = 12
 
 
 def build_scaling_measurements(
@@ -106,11 +117,72 @@ def build_scaling_measurements(
     return metrics, info
 
 
+def build_serve_measurements(
+    dataset: str = SERVE_DATASET,
+    requests: int = SERVE_REQUESTS,
+) -> tuple[dict[str, float], dict[str, Any]]:
+    """One scripted warm/cold serve session over ``dataset``.
+
+    Returns ``(metrics, info)``: every metric key is ``serve.``-prefixed,
+    which :func:`repro.obs.regress._metric_kind` classifies as ``timing``
+    — reported in diffs, never a gate.  The correctness canary (all
+    responses equal, warm responses are cache hits) is asserted here so a
+    broken serving path fails the measurement loudly instead of writing
+    garbage trend data.
+    """
+    from repro.obs import use_registry
+    from repro.obs.report import histogram_quantile
+    from repro.serve import QueryEngine, QueryRequest, StructureCache
+
+    if requests < 2:
+        raise ValueError("requests must be >= 2 (one cold + warm remainder)")
+    metrics: dict[str, float] = {}
+    info: dict[str, Any] = {}
+    with use_registry() as registry:
+        with QueryEngine(StructureCache()) as engine:
+            answers = []
+            latencies = []
+            for i in range(requests):
+                result = engine.query(
+                    QueryRequest(dataset=dataset, id=f"bench-{i}"),
+                    wait_timeout=600,
+                )
+                if not result.ok:  # pragma: no cover - correctness canary
+                    raise AssertionError(
+                        f"serve bench query {i} failed: {result.error}"
+                    )
+                answers.append(result.triangles)
+                latencies.append(result.elapsed_ms)
+        if len(set(answers)) != 1:  # pragma: no cover - correctness canary
+            raise AssertionError(f"serve bench answers diverged: {set(answers)}")
+        counters = registry.family("serve")["counters"]
+        hits = counters.get("serve.cache.hit", 0)
+        if hits != requests - 1:  # pragma: no cover - correctness canary
+            raise AssertionError(
+                f"expected {requests - 1} warm hits, saw {hits}"
+            )
+        hist = registry.family("serve")["histograms"]["serve.latency_seconds"]
+        metrics[f"serve.{dataset}.hit_rate"] = round(hits / requests, 4)
+        metrics[f"serve.{dataset}.latency_p50_seconds"] = round(
+            histogram_quantile(hist, 0.5), 6
+        )
+        metrics[f"serve.{dataset}.latency_p95_seconds"] = round(
+            histogram_quantile(hist, 0.95), 6
+        )
+        info[f"serve.{dataset}.requests"] = requests
+        info[f"serve.{dataset}.cold_ms"] = round(latencies[0], 3)
+        info[f"serve.{dataset}.warm_mean_ms"] = round(
+            sum(latencies[1:]) / (requests - 1), 3
+        )
+    return metrics, info
+
+
 def build_trajectory_artifact(
     suite: Iterable[str] = DEFAULT_SUITE,
     machines: Iterable[str] = ALL_MACHINES,
     generated: str | None = None,
     scaling: str | None = None,
+    serve: str | None = None,
 ) -> dict[str, Any]:
     """Measure the pinned suite and return the artifact as a plain dict.
 
@@ -175,6 +247,10 @@ def build_trajectory_artifact(
         scaling_metrics, scaling_info = build_scaling_measurements(scaling)
         metrics.update(scaling_metrics)
         info.update(scaling_info)
+    if serve:
+        serve_metrics, serve_info = build_serve_measurements(serve)
+        metrics.update(serve_metrics)
+        info.update(serve_info)
     return {
         "schema": TRAJECTORY_SCHEMA_VERSION,
         "kind": "bench-trajectory",
@@ -182,6 +258,7 @@ def build_trajectory_artifact(
         "suite": list(suite),
         "machines": list(machines),
         "scaling": scaling,
+        "serve": serve,
         "metrics": metrics,
         "info": info,
     }

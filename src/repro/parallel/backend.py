@@ -74,8 +74,18 @@ def run_phase1(
     workers: int = 4,
     policy: str = "squared",
     degree_threshold: int = 512,
+    graph_manifest: dict | None = None,
+    fault_worker: int | None = None,
 ) -> tuple[int, int]:
-    """Run phase 1 (HHH + HHN) on the chosen backend; returns the split."""
+    """Run phase 1 (HHH + HHN) on the chosen backend; returns the split.
+
+    ``graph_manifest`` (process backend only) reuses an existing
+    shared-memory segment of ``lotus`` — e.g. the serving cache's — so
+    the dispatch skips the per-call structure copy; the caller keeps
+    ownership of that segment.  ``fault_worker`` (tests only) is passed
+    through to :func:`repro.parallel.procpool.count_hhh_hhn_processes`
+    to crash one worker and exercise the failure path.
+    """
     decision = resolve_backend(
         backend, workers, hub_edges=lotus.hub_edges
     )
@@ -101,4 +111,6 @@ def run_phase1(
         workers=decision.workers,
         policy=policy,
         degree_threshold=degree_threshold,
+        graph_manifest=graph_manifest,
+        fault_worker=fault_worker,
     )

@@ -121,6 +121,7 @@ def count_hhh_hhn_processes(
     chunks_per_worker: int = 8,
     start_method: str | None = None,
     fault_worker: int | None = None,
+    graph_manifest: dict | None = None,
 ) -> tuple[int, int]:
     """Phase 1 on a pool of processes sharing the Lotus structure.
 
@@ -129,6 +130,10 @@ def count_hhh_hhn_processes(
     ``fault_worker`` (tests only) makes that worker die with
     ``FAULT_EXIT_CODE`` before touching shared memory; the call then
     raises :class:`WorkerCrashError` after unlinking both segments.
+    ``graph_manifest`` lends an existing shared segment already holding
+    ``lotus`` (e.g. the serving cache's) — the per-call ``to_shared``
+    copy is skipped and the borrowed segment is *not* unlinked here; the
+    lender keeps ownership.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -157,7 +162,12 @@ def count_hhh_hhn_processes(
         )
 
         ctx = _preferred_context(start_method)
-        graph_handle = lotus.to_shared()
+        if graph_manifest is not None:
+            graph_handle = None
+            worker_graph_manifest = graph_manifest
+        else:
+            graph_handle = lotus.to_shared()
+            worker_graph_manifest = graph_handle.manifest
         sched_handle = share_arrays(
             {
                 "queue": local_sched.queue,
@@ -171,7 +181,9 @@ def count_hhh_hhn_processes(
             },
             meta={"kind": "tile-scheduler", "workers": workers},
         )
-        shm_bytes = graph_handle.nbytes + sched_handle.nbytes
+        shm_bytes = (
+            graph_handle.nbytes if graph_handle is not None else 0
+        ) + sched_handle.nbytes
         registry.counter("parallel.sched.tiles").add(len(tiles))
         registry.counter("parallel.sched.chunks").add(num_chunks)
         registry.gauge("parallel.sched.shm_bytes").set(shm_bytes)
@@ -187,7 +199,7 @@ def count_hhh_hhn_processes(
                     target=_worker_main,
                     args=(
                         w,
-                        graph_handle.manifest,
+                        worker_graph_manifest,
                         sched_handle.manifest,
                         locks,
                         result_queue,
@@ -231,7 +243,8 @@ def count_hhh_hhn_processes(
                     p.terminate()
                     p.join(timeout=5.0)
             result_queue.close()
-            graph_handle.unlink()
+            if graph_handle is not None:
+                graph_handle.unlink()
             sched_handle.unlink()
 
         hhh = sum(r["hhh"] for r in results.values())

@@ -1,0 +1,254 @@
+"""The structure cache: built CSR/Lotus pairs keyed by graph bytes + config.
+
+The cache key is ``<edge_hash>/<config_hash>``:
+
+* ``edge_hash`` is the run ledger's dataset fingerprint
+  (:func:`repro.obs.ledger.dataset_fingerprint`) — a SHA-256 over the
+  exact ``indptr`` / ``indices`` bytes, so two queries share an entry iff
+  they query the very same graph, regardless of how it was named;
+* ``config_hash`` is the ledger's canonical config hash
+  (:func:`repro.obs.ledger.config_hash`) over the
+  :class:`~repro.core.structure.LotusConfig` fields — a different
+  ``hub_count`` builds a different structure and must occupy a
+  different entry.
+
+Eviction is LRU under two budgets (resident bytes and entry count).
+Every lookup is classified into exactly one of three **disjoint**
+outcomes, so the ``serve.cache.hit`` + ``serve.cache.miss`` +
+``serve.cache.eviction`` counters sum to the number of lookups:
+
+* ``hit``      — the entry was resident;
+* ``miss``     — the entry was built and inserted without evicting;
+* ``eviction`` — the entry was built and inserting it evicted at least
+  one resident entry (a capacity miss).
+
+``serve.cache.evicted_entries`` separately counts the entries removed
+(one insert can evict several).  With ``share=True`` each entry also
+holds the Lotus structure's shared-memory segment
+(:meth:`LotusGraph.to_shared`), so the process backend can attach
+workers zero-copy without re-sharing per dispatch; the cache owns those
+segments and unlinks them on eviction / ``clear``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.structure import LotusConfig, LotusGraph, build_lotus_graph
+from repro.graph.csr import CSRGraph
+from repro.obs import get_registry
+from repro.obs.ledger import config_hash, dataset_fingerprint
+from repro.util.timer import clock
+
+__all__ = ["CacheEntry", "StructureCache", "structure_key", "DEFAULT_CACHE_BYTES"]
+
+DEFAULT_CACHE_BYTES = 256 << 20
+DEFAULT_CACHE_ENTRIES = 8
+
+
+def structure_key(graph: CSRGraph, config: LotusConfig | None = None) -> str:
+    """``<edge_hash>/<config_hash>`` cache key for one (graph, config)."""
+    config = config or LotusConfig()
+    fp = dataset_fingerprint(graph)
+    cfg = config_hash(
+        {"hub_count": config.hub_count, "head_fraction": config.head_fraction}
+    )
+    return f"{fp['edge_hash']}/{cfg}"
+
+
+def _entry_nbytes(graph: CSRGraph, lotus: LotusGraph) -> int:
+    """Resident bytes of one entry: the CSR plus every Lotus array."""
+    return int(
+        graph.indptr.nbytes
+        + graph.indices.nbytes
+        + lotus.h2h.data.nbytes
+        + lotus.he.indptr.nbytes
+        + lotus.he.indices.nbytes
+        + lotus.nhe.indptr.nbytes
+        + lotus.nhe.indices.nbytes
+        + lotus.ra.nbytes
+    )
+
+
+@dataclass
+class CacheEntry:
+    """One resident structure: the graph, its Lotus build, bookkeeping."""
+
+    key: str
+    graph: CSRGraph
+    lotus: LotusGraph
+    nbytes: int
+    dataset: str | None = None
+    build_seconds: float = 0.0
+    hits: int = 0
+    shared: Any = None  # SharedArrays handle when the cache shares segments
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def manifest(self) -> dict | None:
+        """Picklable shared-memory manifest (``None`` unless shared)."""
+        return self.shared.manifest if self.shared is not None else None
+
+    def release(self) -> None:
+        """Drop the shared segment (idempotent; called on eviction)."""
+        if self.shared is not None:
+            self.shared.close()
+            self.shared.unlink()
+            self.shared = None
+
+
+class StructureCache:
+    """Byte-budgeted LRU over built structures.  Thread-safe.
+
+    ``max_bytes`` / ``max_entries`` bound residency; the newest entry is
+    never evicted, so a single structure larger than the byte budget
+    still serves (it is evicted by the *next* insert).  ``share=True``
+    additionally copies each Lotus build into a shared-memory segment for
+    zero-copy process-backend dispatch.
+    """
+
+    def __init__(
+        self,
+        max_bytes: int = DEFAULT_CACHE_BYTES,
+        max_entries: int = DEFAULT_CACHE_ENTRIES,
+        share: bool = False,
+    ) -> None:
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_bytes = int(max_bytes)
+        self.max_entries = int(max_entries)
+        self.share = share
+        self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
+        self._lock = threading.RLock()
+        # internal totals mirror the serve.cache.* registry counters so
+        # stats work even when no registry is active
+        self.hits = 0
+        self.misses = 0
+        self.evicting_misses = 0
+        self.evicted_entries = 0
+
+    # -- sizing -----------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        with self._lock:
+            return sum(e.nbytes for e in self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def keys(self) -> list[str]:
+        with self._lock:
+            return list(self._entries)
+
+    # -- the one entry point ----------------------------------------------
+    def get_or_build(
+        self,
+        graph: CSRGraph,
+        config: LotusConfig | None = None,
+        *,
+        key: str | None = None,
+        dataset: str | None = None,
+        builder: Callable[[CSRGraph, LotusConfig | None], LotusGraph] | None = None,
+    ) -> tuple[CacheEntry, str]:
+        """Return ``(entry, outcome)`` with outcome in hit/miss/eviction.
+
+        ``key`` may be precomputed (:func:`structure_key`) to avoid
+        re-hashing the CSR bytes when classifying many requests of one
+        micro-batch.  ``builder`` overrides
+        :func:`~repro.core.structure.build_lotus_graph` (tests inject
+        slow or crashing builders).
+        """
+        config = config or LotusConfig()
+        if key is None:
+            key = structure_key(graph, config)
+        registry = get_registry()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                entry.hits += 1
+                self.hits += 1
+                registry.counter("serve.cache.hit").add(1)
+                return entry, "hit"
+
+            started = clock()
+            build = builder or (lambda g, c: build_lotus_graph(g, c))
+            lotus = build(graph, config)
+            entry = CacheEntry(
+                key=key,
+                graph=graph,
+                lotus=lotus,
+                nbytes=_entry_nbytes(graph, lotus),
+                dataset=dataset,
+                build_seconds=clock() - started,
+            )
+            if self.share:
+                entry.shared = lotus.to_shared()
+            self._entries[key] = entry
+            evicted = self._evict_over_budget()
+            outcome = "eviction" if evicted else "miss"
+            if evicted:
+                self.evicting_misses += 1
+                registry.counter("serve.cache.eviction").add(1)
+            else:
+                self.misses += 1
+                registry.counter("serve.cache.miss").add(1)
+            self._export_gauges(registry)
+            return entry, outcome
+
+    def _evict_over_budget(self) -> int:
+        """Pop LRU entries until under both budgets; returns count evicted."""
+        registry = get_registry()
+        evicted = 0
+        total = sum(e.nbytes for e in self._entries.values())
+        while len(self._entries) > 1 and (
+            len(self._entries) > self.max_entries or total > self.max_bytes
+        ):
+            _, victim = self._entries.popitem(last=False)
+            total -= victim.nbytes
+            victim.release()
+            evicted += 1
+        if evicted:
+            self.evicted_entries += evicted
+            registry.counter("serve.cache.evicted_entries").add(evicted)
+        return evicted
+
+    def _export_gauges(self, registry) -> None:
+        registry.gauge("serve.cache.bytes").set(
+            sum(e.nbytes for e in self._entries.values())
+        )
+        registry.gauge("serve.cache.entries").set(len(self._entries))
+
+    # -- lifecycle ---------------------------------------------------------
+    def clear(self) -> None:
+        """Evict everything (releases any shared segments)."""
+        with self._lock:
+            for entry in self._entries.values():
+                entry.release()
+            self._entries.clear()
+            self._export_gauges(get_registry())
+
+    def stats(self) -> dict[str, Any]:
+        """Point-in-time totals (independent of any active registry)."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": sum(e.nbytes for e in self._entries.values()),
+                "max_bytes": self.max_bytes,
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evicting_misses": self.evicting_misses,
+                "evicted_entries": self.evicted_entries,
+            }
+
+    def __enter__(self) -> "StructureCache":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.clear()

@@ -29,7 +29,7 @@ from typing import Any, Mapping
 
 import numpy as np
 
-__all__ = ["SharedArrays", "share_arrays", "attach_arrays"]
+__all__ = ["SharedArrays", "share_arrays", "attach_arrays", "manifest_nbytes"]
 
 # offsets are padded to cacheline size: keeps every array aligned for any
 # dtype and avoids false sharing between adjacent arrays
@@ -185,6 +185,15 @@ def attach_arrays(manifest: dict[str, Any]) -> SharedArrays:
         for spec in manifest["arrays"]
     }
     return SharedArrays(shm, manifest, arrays, owner=False)
+
+
+def manifest_nbytes(manifest: dict[str, Any]) -> int:
+    """Segment size described by a manifest, without attaching to it.
+
+    The serving cache accounts shared segments against its byte budget
+    from the manifest alone.
+    """
+    return int(manifest["nbytes"])
 
 
 def _untrack(shm: shared_memory.SharedMemory) -> None:

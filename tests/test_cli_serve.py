@@ -1,0 +1,224 @@
+"""Golden tests for the `serve` / `query` CLI JSON-lines protocol.
+
+The field order of each response line is a published contract (scripting
+clients index into it; see docs/serving.md) — these tests snapshot it.
+Invocation errors follow the PR 3 contract: one-line ``error: ...`` on
+stderr and exit status 2; malformed *request lines* must NOT kill a
+serve session — each gets a per-request error response instead.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graph import erdos_renyi, save_edgelist
+
+# golden field orders — update docs/serving.md if these ever change
+OK_FIELDS = [
+    "id", "ok", "op", "status", "dataset", "algorithm", "triangles",
+    "cache", "batched", "queued_ms", "elapsed_ms",
+]
+OK_FIELDS_WITH_COUNTS = OK_FIELDS + ["counts"]
+ERROR_FIELDS = ["id", "ok", "op", "status", "error"]
+COUNTS_FIELDS = ["hhh", "hhn", "hnn", "nnn"]
+STATS_FIELDS = ["id", "ok", "op", "status", "stats"]
+
+
+@pytest.fixture
+def edgelist_file(tmp_path):
+    g = erdos_renyi(100, 0.1, seed=1)
+    path = tmp_path / "g.txt"
+    save_edgelist(path, g)
+    return str(path)
+
+
+def _serve(tmp_path, lines, *extra_args):
+    """Run one serve session over `lines`; returns parsed response dicts."""
+    request_file = tmp_path / "requests.jsonl"
+    request_file.write_text("\n".join(lines) + "\n")
+    assert main(["serve", "--input", str(request_file), *extra_args]) == 0
+    return None  # caller reads capsys
+
+
+class TestServeGolden:
+    def test_ok_response_field_order(self, tmp_path, edgelist_file, capsys):
+        _serve(tmp_path, [json.dumps({"file": edgelist_file, "id": "q1"})])
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 1
+        obj = json.loads(out[0])
+        assert list(obj) == OK_FIELDS_WITH_COUNTS
+        assert list(obj["counts"]) == COUNTS_FIELDS
+        assert obj["id"] == "q1" and obj["ok"] is True and obj["status"] == "ok"
+        assert obj["cache"] == "miss"
+
+    def test_non_lotus_omits_counts(self, tmp_path, edgelist_file, capsys):
+        _serve(
+            tmp_path,
+            [json.dumps({"file": edgelist_file, "algorithm": "forward"})],
+        )
+        obj = json.loads(capsys.readouterr().out.strip())
+        assert list(obj) == OK_FIELDS
+
+    def test_error_response_field_order(self, tmp_path, capsys):
+        _serve(tmp_path, [json.dumps({"dataset": "bogus", "id": "e1"})])
+        obj = json.loads(capsys.readouterr().out.strip())
+        assert list(obj) == ERROR_FIELDS
+        assert obj["ok"] is False and obj["status"] == "error"
+        assert "unknown dataset" in obj["error"]
+
+    def test_malformed_line_does_not_kill_session(
+        self, tmp_path, edgelist_file, capsys
+    ):
+        _serve(
+            tmp_path,
+            [
+                "this is not json",
+                json.dumps({"file": edgelist_file, "id": "after"}),
+            ],
+        )
+        lines = [json.loads(l) for l in capsys.readouterr().out.strip().splitlines()]
+        assert len(lines) == 2
+        assert lines[0]["ok"] is False and "malformed JSON" in lines[0]["error"]
+        assert list(lines[0]) == ERROR_FIELDS
+        assert lines[1]["ok"] is True and lines[1]["id"] == "after"
+
+    def test_unknown_field_rejected_per_request(self, tmp_path, capsys):
+        _serve(tmp_path, ['{"dataset": "UU", "frobnicate": 1}'])
+        obj = json.loads(capsys.readouterr().out.strip())
+        assert obj["ok"] is False
+        assert "unknown request field" in obj["error"]
+
+    def test_stats_op(self, tmp_path, edgelist_file, capsys):
+        _serve(
+            tmp_path,
+            [
+                json.dumps({"file": edgelist_file}),
+                json.dumps({"op": "stats", "id": "s"}),
+            ],
+        )
+        lines = [json.loads(l) for l in capsys.readouterr().out.strip().splitlines()]
+        stats = lines[1]
+        assert list(stats) == STATS_FIELDS
+        assert stats["op"] == "stats" and stats["stats"]["misses"] == 1
+
+    def test_warm_session_hits_cache(self, tmp_path, edgelist_file, capsys):
+        _serve(
+            tmp_path,
+            [json.dumps({"file": edgelist_file, "id": f"q{i}"}) for i in range(3)],
+        )
+        lines = [json.loads(l) for l in capsys.readouterr().out.strip().splitlines()]
+        assert [l["cache"] for l in lines] == ["miss", "hit", "hit"]
+        assert len({l["triangles"] for l in lines}) == 1
+
+    def test_pipeline_mode_coalesces_and_keeps_order(
+        self, tmp_path, edgelist_file, capsys
+    ):
+        _serve(
+            tmp_path,
+            [json.dumps({"file": edgelist_file, "id": f"q{i}"}) for i in range(4)],
+            "--pipeline",
+        )
+        lines = [json.loads(l) for l in capsys.readouterr().out.strip().splitlines()]
+        assert [l["id"] for l in lines] == ["q0", "q1", "q2", "q3"]
+        assert all(l["ok"] for l in lines)
+        # the whole window lands in one micro-batch
+        assert any(l["batched"] > 1 for l in lines)
+
+    def test_metrics_artifact_written(self, tmp_path, edgelist_file, capsys):
+        metrics_path = tmp_path / "metrics.json"
+        _serve(
+            tmp_path,
+            [json.dumps({"file": edgelist_file}) for _ in range(2)],
+            "--metrics-output", str(metrics_path),
+        )
+        capsys.readouterr()
+        snap = json.loads(metrics_path.read_text())
+        assert set(snap) == {"counters", "gauges", "histograms"}
+        assert snap["counters"]["serve.cache.hit"] == 1
+        assert snap["counters"]["serve.cache.miss"] == 1
+        assert all(k.startswith("serve.") for table in snap.values() for k in table)
+
+    def test_summary_on_stderr(self, tmp_path, edgelist_file, capsys):
+        _serve(tmp_path, [json.dumps({"file": edgelist_file})])
+        err = capsys.readouterr().err
+        assert "served 1 request(s)" in err
+        assert "1 miss" in err
+
+    def test_share_session_leaves_no_segment_residue(
+        self, tmp_path, edgelist_file, capsys
+    ):
+        import glob
+
+        before = set(glob.glob("/dev/shm/repro-*"))
+        _serve(
+            tmp_path,
+            [json.dumps({"file": edgelist_file}) for _ in range(2)],
+            "--share",
+        )
+        capsys.readouterr()
+        assert set(glob.glob("/dev/shm/repro-*")) == before
+
+
+class TestServeErrorContract:
+    def test_missing_input_file_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--input", "/no/such/file.jsonl"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and len(err.strip().splitlines()) == 1
+
+    @pytest.mark.parametrize(
+        "flag,value",
+        [
+            ("--cache-bytes", "0"),
+            ("--cache-entries", "0"),
+            ("--max-queue", "0"),
+            ("--max-batch", "-1"),
+        ],
+    )
+    def test_bad_budget_exits_2(self, flag, value, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", flag, value, "--input", "x.jsonl"])
+        assert exc.value.code == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+
+class TestQueryGolden:
+    def test_warm_query_output(self, edgelist_file, capsys):
+        assert main(["query", "--file", edgelist_file, "--id", "one"]) == 0
+        obj = json.loads(capsys.readouterr().out.strip())
+        assert list(obj) == OK_FIELDS_WITH_COUNTS
+        assert obj["id"] == "one"
+        # default --warm 1 means the reported query runs against a warm cache
+        assert obj["cache"] == "hit"
+
+    def test_cold_query(self, edgelist_file, capsys):
+        assert main(["query", "--file", edgelist_file, "--warm", "0"]) == 0
+        obj = json.loads(capsys.readouterr().out.strip())
+        assert obj["cache"] == "miss"
+
+    def test_unknown_dataset_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["query", "--dataset", "bogus"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "unknown dataset" in err
+
+    def test_missing_file_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["query", "--file", "/no/such/graph.txt"])
+        assert exc.value.code == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_no_source_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["query"])
+        assert exc.value.code == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_negative_warm_exits_2(self, edgelist_file, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["query", "--file", edgelist_file, "--warm", "-2"])
+        assert exc.value.code == 2
+        assert capsys.readouterr().err.startswith("error:")

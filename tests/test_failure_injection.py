@@ -1,10 +1,18 @@
-"""Failure injection: validators must catch every corrupted structure.
+"""Failure injection: validators must catch every corrupted structure,
+and the query service must degrade per-request, never per-process.
 
-These tests construct deliberately broken CSR/Lotus structures (bypassing
-the builders) and assert that ``validate()`` rejects each corruption —
-the guard rail that keeps downstream algorithms from silently producing
-wrong counts.
+The first half constructs deliberately broken CSR/Lotus structures
+(bypassing the builders) and asserts that ``validate()`` rejects each
+corruption — the guard rail that keeps downstream algorithms from
+silently producing wrong counts.  The second half injects faults into
+the serving path: slow builders that blow request deadlines, executors
+that crash like a dead worker process, and a real crashed process-pool
+worker — in every case the engine must answer the affected requests
+with a failure *result* (no hang, no crash) and keep serving afterwards
+from an intact cache.
 """
+
+import time
 
 import numpy as np
 import pytest
@@ -152,3 +160,155 @@ class TestAlgorithmsRejectGarbageGracefully:
 
         g = complete_graph(30)
         assert count_triangles_lotus(g, LotusConfig(hub_count=2)).triangles == 4060
+
+
+# --------------------------------------------------------------------------
+# serving-path fault injection
+# --------------------------------------------------------------------------
+
+
+@pytest.fixture
+def serve_graph():
+    return erdos_renyi(150, 0.08, seed=55)
+
+
+@pytest.fixture
+def serve_oracle(serve_graph):
+    from repro.tc import count_triangles_forward
+
+    return count_triangles_forward(serve_graph).triangles
+
+
+class TestServeDeadlineExpiry:
+    """A deadline expiring mid-dispatch yields a timeout *result* — the
+    request never hangs and never occupies the backend."""
+
+    def test_deadline_blown_by_slow_build(self, serve_graph, serve_oracle):
+        from repro.serve import QueryEngine, QueryRequest, StructureCache
+
+        def slow_builder(graph, config):
+            time.sleep(0.3)
+            return build_lotus_graph(graph, config)
+
+        engine = QueryEngine(StructureCache(), builder=slow_builder)
+        with engine:
+            doomed = engine.query(
+                QueryRequest(graph=serve_graph, timeout=0.05), wait_timeout=30
+            )
+            assert doomed.status == "timeout"
+            assert "deadline expired" in doomed.error
+            # the build completed and was cached: the engine still serves
+            ok = engine.query(QueryRequest(graph=serve_graph), wait_timeout=30)
+            assert ok.ok and ok.triangles == serve_oracle
+            assert ok.cache == "hit"
+
+    def test_deadline_expired_while_queued(self, serve_graph):
+        from repro.serve import QueryEngine, QueryRequest, StructureCache
+
+        engine = QueryEngine(StructureCache())  # not started: requests sit
+        ticket = engine.submit(QueryRequest(graph=serve_graph, timeout=0.01))
+        time.sleep(0.05)
+        engine.start()
+        result = ticket.result(timeout=30)
+        engine.stop()
+        assert result.status == "timeout"
+        assert "queue" in result.error
+
+
+class TestServeWorkerCrash:
+    """A crashed worker fails only the batch it was computing; the cache
+    entry survives and later queries succeed."""
+
+    def test_injected_crash_fails_only_affected_batch(
+        self, serve_graph, serve_oracle
+    ):
+        from repro.parallel.procpool import WorkerCrashError
+        from repro.serve import QueryEngine, QueryRequest, StructureCache
+        from repro.serve.engine import _default_executor
+
+        crashes = {"armed": True}
+
+        def crashing_executor(entry, request, backend, workers):
+            if crashes["armed"]:
+                crashes["armed"] = False
+                raise WorkerCrashError("worker(s) [0] died", {0: 23})
+            return _default_executor(entry, request, backend, workers)
+
+        other = erdos_renyi(100, 0.1, seed=66)
+        with QueryEngine(
+            StructureCache(), executor=crashing_executor, max_batch=8
+        ) as engine:
+            # first query hits the armed crash
+            crashed = engine.query(QueryRequest(graph=serve_graph), wait_timeout=30)
+            assert crashed.status == "error"
+            assert "WorkerCrashError" in crashed.error
+            # a different graph is unaffected
+            ok_other = engine.query(QueryRequest(graph=other), wait_timeout=30)
+            assert ok_other.ok
+            # the crashed graph's cache entry survived: warm hit, correct count
+            retried = engine.query(QueryRequest(graph=serve_graph), wait_timeout=30)
+            assert retried.ok and retried.triangles == serve_oracle
+            assert retried.cache == "hit"
+
+    def test_crash_isolated_to_its_computation_group(self, serve_graph):
+        """Two computations coalesced from one micro-batch: the crashing
+        one fails its peers, the other completes."""
+        from repro.parallel.procpool import WorkerCrashError
+        from repro.serve import QueryEngine, QueryRequest, StructureCache
+        from repro.serve.engine import _default_executor
+
+        def executor(entry, request, backend, workers):
+            if request.algorithm == "lotus":
+                raise WorkerCrashError("worker(s) [1] died", {1: 23})
+            return _default_executor(entry, request, backend, workers)
+
+        engine = QueryEngine(StructureCache(), executor=executor, max_batch=8)
+        t_lotus = engine.submit(QueryRequest(graph=serve_graph, algorithm="lotus"))
+        t_fwd = engine.submit(QueryRequest(graph=serve_graph, algorithm="forward"))
+        engine.start()
+        r_lotus = t_lotus.result(timeout=30)
+        r_fwd = t_fwd.result(timeout=30)
+        engine.stop()
+        assert r_lotus.status == "error" and "WorkerCrashError" in r_lotus.error
+        assert r_fwd.ok
+
+    def test_real_process_worker_crash_surfaces(self):
+        """End-to-end: a genuinely killed worker process raises
+        WorkerCrashError through run_phase1, and both shared segments are
+        unlinked (no leak)."""
+        from repro.parallel.backend import run_phase1
+        from repro.parallel.procpool import WorkerCrashError
+
+        lotus = build_lotus_graph(erdos_renyi(200, 0.1, seed=9))
+        with pytest.raises(WorkerCrashError):
+            run_phase1(lotus, backend="processes", workers=2, fault_worker=0)
+
+    def test_real_crash_spares_borrowed_segment(self):
+        """With a lent manifest (the serving cache's segment), a worker
+        crash must NOT unlink the borrowed segment — the cache still owns
+        a usable structure afterwards."""
+        from repro.parallel.backend import run_phase1
+        from repro.parallel.procpool import WorkerCrashError
+        from repro.serve import StructureCache
+
+        graph = erdos_renyi(200, 0.1, seed=9)
+        with StructureCache(share=True) as cache:
+            entry, _ = cache.get_or_build(graph)
+            with pytest.raises(WorkerCrashError):
+                run_phase1(
+                    entry.lotus,
+                    backend="processes",
+                    workers=2,
+                    fault_worker=0,
+                    graph_manifest=entry.manifest,
+                )
+            # the segment survived the crash: a clean dispatch still works
+            hhh, hhn = run_phase1(
+                entry.lotus,
+                backend="processes",
+                workers=2,
+                graph_manifest=entry.manifest,
+            )
+            from repro.core.count import count_hhh_hhn
+
+            assert (hhh, hhn) == count_hhh_hhn(entry.lotus)

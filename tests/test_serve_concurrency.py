@@ -1,0 +1,151 @@
+"""Concurrency stress test of the query service (PR acceptance test).
+
+Eight client threads fire mixed queries over three distinct graphs at an
+engine whose cache only holds two entries, forcing continuous hits,
+misses and evictions while micro-batching coalesces whatever lands
+together.  Invariants checked:
+
+* every result equals the sequential oracle for its graph — concurrency
+  and cache churn never change an answer;
+* no deadlock — every wait carries a global timeout, so a hang fails
+  the test instead of wedging the suite;
+* the disjoint cache outcomes (hit + miss + eviction) sum exactly to
+  the number of count queries served.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.graph import erdos_renyi, powerlaw_chung_lu
+from repro.obs import use_registry
+from repro.serve import QueryEngine, QueryRequest, StructureCache
+from repro.tc import count_triangles_forward
+
+# generous wall-clock bound for any single wait; the whole test finishes
+# in a few seconds when healthy
+GLOBAL_TIMEOUT = 120.0
+
+CLIENTS = 8
+REQUESTS_PER_CLIENT = 6
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return {
+        "er1": erdos_renyi(150, 0.08, seed=101),
+        "er2": erdos_renyi(200, 0.06, seed=202),
+        "pl": powerlaw_chung_lu(300, 6.0, exponent=2.2, seed=303),
+    }
+
+
+@pytest.fixture(scope="module")
+def oracles(graphs):
+    return {
+        name: count_triangles_forward(g).triangles for name, g in graphs.items()
+    }
+
+
+def _client(engine, graphs, plan, out, errors, barrier):
+    try:
+        barrier.wait(timeout=GLOBAL_TIMEOUT)
+        for name, algorithm in plan:
+            result = engine.query(
+                QueryRequest(graph=graphs[name], algorithm=algorithm),
+                wait_timeout=GLOBAL_TIMEOUT,
+            )
+            out.append((name, result))
+    except Exception as exc:  # surfaced in the main thread
+        errors.append(exc)
+
+
+def test_concurrent_clients_match_sequential_oracle(graphs, oracles):
+    rng = random.Random(7)
+    plans = [
+        [
+            (rng.choice(list(graphs)), rng.choice(["lotus", "lotus", "forward"]))
+            for _ in range(REQUESTS_PER_CLIENT)
+        ]
+        for _ in range(CLIENTS)
+    ]
+    results: list = []
+    errors: list = []
+    barrier = threading.Barrier(CLIENTS)
+    with use_registry() as reg:
+        cache = StructureCache(max_entries=2)  # 3 graphs -> constant churn
+        with QueryEngine(cache, max_queue=128, max_batch=8) as engine:
+            threads = [
+                threading.Thread(
+                    target=_client,
+                    args=(engine, graphs, plan, results, errors, barrier),
+                    daemon=True,
+                )
+                for plan in plans
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=GLOBAL_TIMEOUT)
+                assert not t.is_alive(), "client thread hung: engine deadlocked"
+        assert not errors, errors
+
+        total = CLIENTS * REQUESTS_PER_CLIENT
+        assert len(results) == total
+        for name, result in results:
+            assert result.ok, (name, result.status, result.error)
+            assert result.triangles == oracles[name], name
+            assert result.cache in ("hit", "miss", "eviction")
+
+        # disjoint outcome counters sum to the number of count queries
+        counters = reg.family("serve")["counters"]
+        outcome_sum = (
+            counters.get("serve.cache.hit", 0)
+            + counters.get("serve.cache.miss", 0)
+            + counters.get("serve.cache.eviction", 0)
+        )
+        assert outcome_sum == total
+        assert counters["serve.requests.submitted"] == total
+        assert counters["serve.requests.completed"] == total
+
+        # the cache's own totals agree with the registry
+        stats = cache.stats()
+        assert stats["hits"] == counters.get("serve.cache.hit", 0)
+        assert stats["misses"] == counters.get("serve.cache.miss", 0)
+        assert stats["evicting_misses"] == counters.get("serve.cache.eviction", 0)
+        # with 3 graphs and 2 slots there must be real churn
+        assert stats["evicting_misses"] >= 1
+        assert stats["entries"] <= 2
+
+
+def test_concurrent_submitters_respect_admission_control(graphs):
+    """Saturating a tiny queue from many threads either admits or raises
+    QueueFullError — never blocks, never loses a ticket."""
+    from repro.serve import QueueFullError
+
+    engine = QueryEngine(StructureCache(), max_queue=4)  # not started
+    admitted: list = []
+    rejected: list = []
+    lock = threading.Lock()
+
+    def submitter():
+        try:
+            t = engine.submit(QueryRequest(graph=graphs["er1"]))
+            with lock:
+                admitted.append(t)
+        except QueueFullError:
+            with lock:
+                rejected.append(1)
+
+    threads = [threading.Thread(target=submitter) for _ in range(12)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=GLOBAL_TIMEOUT)
+        assert not t.is_alive()
+    assert len(admitted) == 4
+    assert len(rejected) == 8
+    engine.start()
+    for t in admitted:
+        assert t.result(timeout=GLOBAL_TIMEOUT).ok
+    engine.stop()

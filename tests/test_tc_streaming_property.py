@@ -1,0 +1,165 @@
+"""Property-based accuracy tests for the streaming estimators.
+
+Three layers, one per satellite requirement:
+
+* **exact modes equal the exact counter** — DOULION at ``p=1``, the
+  reservoir estimator with a reservoir covering the whole stream, and
+  ``StreamingLotusCounter`` at ``nn_keep_prob=1`` must all reproduce
+  :func:`repro.tc.count_triangles_forward` exactly, for arbitrary
+  graphs and arbitrary stream orders (hypothesis drives the graph shape
+  and the shuffle);
+* **sampled modes are statistically sound** — averaged over seeds, the
+  estimates land within a loose tolerance of the truth (the estimators
+  are unbiased; the tolerance bounds the variance of the seed-mean);
+* **update_many ≡ update loop** — batch ingestion is exactly the loop,
+  including RNG consumption, so both orders end in identical state.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import erdos_renyi, powerlaw_chung_lu
+from repro.tc import count_triangles_forward
+from repro.tc.streaming import (
+    StreamingLotusCounter,
+    doulion_estimate,
+    reservoir_triangle_estimate,
+)
+
+# a graph drawn from a small family: (generator, size, density-ish, seed)
+graph_params = st.tuples(
+    st.sampled_from(["er", "pl"]),
+    st.integers(min_value=10, max_value=120),
+    st.integers(min_value=1, max_value=12),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+
+
+def _make_graph(params):
+    kind, n, density, seed = params
+    if kind == "er":
+        return erdos_renyi(n, min(1.0, density / 50.0), seed=seed)
+    return powerlaw_chung_lu(n, float(density), exponent=2.2, seed=seed)
+
+
+def _hubs(graph, count):
+    order = np.argsort(-graph.degrees(), kind="stable")
+    return order[: max(1, count)]
+
+
+class TestExactModes:
+    @given(params=graph_params, seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_doulion_p1_is_exact(self, params, seed):
+        graph = _make_graph(params)
+        exact = count_triangles_forward(graph).triangles
+        assert doulion_estimate(graph, p=1.0, seed=seed) == exact
+
+    @given(params=graph_params, order_seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_full_reservoir_is_exact(self, params, order_seed):
+        graph = _make_graph(params)
+        exact = count_triangles_forward(graph).triangles
+        edges = graph.edges()
+        rng = np.random.default_rng(order_seed)
+        edges = edges[rng.permutation(edges.shape[0])]
+        size = max(1, edges.shape[0])
+        assert reservoir_triangle_estimate(edges, size, seed=0) == exact
+
+    @given(
+        params=graph_params,
+        order_seed=st.integers(0, 1000),
+        hub_frac=st.floats(0.01, 0.5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_streaming_lotus_exact_mode(self, params, order_seed, hub_frac):
+        graph = _make_graph(params)
+        exact = count_triangles_forward(graph).triangles
+        edges = graph.edges()
+        rng = np.random.default_rng(order_seed)
+        edges = edges[rng.permutation(edges.shape[0])]
+        hubs = _hubs(graph, int(hub_frac * graph.num_vertices))
+        counter = StreamingLotusCounter(hubs, nn_keep_prob=1.0)
+        counter.update_many(edges)
+        assert counter.estimate_total() == exact
+        # exact mode: the decomposition is integral and consistent
+        assert counter.hub_triangles + counter.nnn_estimate == exact
+
+
+class TestUpdateManyEquivalence:
+    @given(
+        params=graph_params,
+        keep=st.sampled_from([1.0, 0.7, 0.4]),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_update_many_is_update_loop(self, params, keep, seed):
+        graph = _make_graph(params)
+        edges = graph.edges()
+        hubs = _hubs(graph, max(1, graph.num_vertices // 20))
+        batch = StreamingLotusCounter(hubs, nn_keep_prob=keep, seed=seed)
+        batch.update_many(edges)
+        loop = StreamingLotusCounter(hubs, nn_keep_prob=keep, seed=seed)
+        for u, v in np.asarray(edges, dtype=np.int64):
+            loop.update(int(u), int(v))
+        assert batch.estimate_total() == loop.estimate_total()
+        assert batch.hub_triangles == loop.hub_triangles
+        assert batch.nnn_estimate == loop.nnn_estimate
+        assert batch.edges_seen == loop.edges_seen
+        assert batch.edges_stored == loop.edges_stored
+
+
+class TestSampledAccuracy:
+    """Statistical tolerance over seeds: the estimators are unbiased, so
+    the mean over many seeds must approach the truth.  Tolerances are
+    loose (they bound the seed-mean's noise, not a single estimate)."""
+
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return powerlaw_chung_lu(600, 10.0, exponent=2.1, seed=77)
+
+    @pytest.fixture(scope="class")
+    def exact(self, graph):
+        return count_triangles_forward(graph).triangles
+
+    def test_doulion_seed_mean_converges(self, graph, exact):
+        estimates = [doulion_estimate(graph, p=0.6, seed=s) for s in range(30)]
+        mean = float(np.mean(estimates))
+        assert abs(mean - exact) / exact < 0.25
+
+    def test_reservoir_seed_mean_converges(self, graph, exact):
+        edges = graph.edges()
+        size = max(1, edges.shape[0] // 2)
+        estimates = [
+            reservoir_triangle_estimate(edges, size, seed=s) for s in range(20)
+        ]
+        mean = float(np.mean(estimates))
+        assert abs(mean - exact) / exact < 0.25
+
+    def test_streaming_lotus_sampled_mean_converges(self, graph, exact):
+        hubs = _hubs(graph, graph.num_vertices // 50)
+        estimates = []
+        for s in range(20):
+            c = StreamingLotusCounter(hubs, nn_keep_prob=0.5, seed=s)
+            c.update_many(graph.edges())
+            estimates.append(c.estimate_total())
+        mean = float(np.mean(estimates))
+        assert abs(mean - exact) / exact < 0.25
+
+    def test_streaming_lotus_hub_class_is_exact_under_sampling(self, graph, exact):
+        """The resident hub structure keeps >=1-hub triangles closed by a
+        hub edge exact for any keep probability — the variance all sits
+        in the sampled non-hub remainder, so the hub tally never exceeds
+        the truth by more than its own estimator noise floor."""
+        hubs = _hubs(graph, graph.num_vertices // 50)
+        exact_counter = StreamingLotusCounter(hubs, nn_keep_prob=1.0)
+        exact_counter.update_many(graph.edges())
+        exact_hub = exact_counter.hub_triangles
+        sampled_means = []
+        for s in range(10):
+            c = StreamingLotusCounter(hubs, nn_keep_prob=0.5, seed=s)
+            c.update_many(graph.edges())
+            sampled_means.append(c.hub_triangles)
+        mean = float(np.mean(sampled_means))
+        assert abs(mean - exact_hub) / max(1, exact_hub) < 0.25
