@@ -34,6 +34,7 @@ from repro.obs.trajectory import (  # noqa: E402  (path bootstrap above)
     QUICK_SUITE,
     SCALING_DATASET,
     SERVE_DATASET,
+    TELEMETRY_DATASET,
     build_trajectory_artifact,
     write_trajectory_artifact,
 )
@@ -64,6 +65,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="also record a scripted serve session (default "
                              f"dataset: {SERVE_DATASET}); the serve.* keys "
                              "are timing-kind — trended, never gated")
+    parser.add_argument("--telemetry-overhead", nargs="?",
+                        const=TELEMETRY_DATASET, default=None,
+                        metavar="DATASET",
+                        help="also self-measure the telemetry overhead "
+                             f"(default dataset: {TELEMETRY_DATASET}); the "
+                             "on/off wall-time ratio is gated against an "
+                             "absolute ceiling (see repro.obs.regress)")
     parser.add_argument("--ledger", metavar="DIR", default=None,
                         help="run-ledger directory (default: runs/ at the "
                              "repo root)")
@@ -75,6 +83,7 @@ def main(argv: list[str] | None = None) -> int:
     artifact = build_trajectory_artifact(
         suite=suite, machines=tuple(args.machines), generated=args.date,
         scaling=args.scaling, serve=args.serve,
+        telemetry_overhead=args.telemetry_overhead,
     )
     path = write_trajectory_artifact(artifact, args.out, baseline=args.baseline)
     elapsed = time.perf_counter() - started
@@ -95,6 +104,7 @@ def main(argv: list[str] | None = None) -> int:
                 "baseline": bool(args.baseline),
                 "scaling": args.scaling,
                 "serve": args.serve,
+                "telemetry_overhead": args.telemetry_overhead,
             },
             meta={"artifact_path": str(path), "elapsed": elapsed},
             artifact=artifact,

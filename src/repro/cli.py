@@ -475,6 +475,37 @@ def cmd_runs_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs.telemetry import prometheus_exposition
+
+    labels: dict[str, str] = {}
+    for item in args.label:
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            _fail(f"--label expects K=V, got {item!r}")
+        labels[key] = value
+    if bool(args.input) == bool(args.run):
+        _fail("specify exactly one of --input FILE or --run REF")
+    if args.input:
+        if not os.path.exists(args.input):
+            _fail(f"no such file: {args.input}")
+        with open(args.input, encoding="utf-8") as fh:
+            try:
+                obj = json.load(fh)
+            except json.JSONDecodeError as exc:
+                _fail(f"{args.input} is not JSON: {exc}")
+    else:
+        obj = _resolve_run(_open_ledger(args), args.run)
+    if not isinstance(obj, dict):
+        _fail("metrics source must be a JSON object")
+    # raw registry snapshot, or a report / ledger record wrapping one
+    snapshot = obj if "counters" in obj or "gauges" in obj else obj.get("metrics")
+    if not isinstance(snapshot, dict):
+        _fail("no metrics found (expected a snapshot, report, or run record)")
+    sys.stdout.write(prometheus_exposition(snapshot, labels=labels or None))
+    return 0
+
+
 # JSON-line request fields accepted by `serve` (the engine's QueryRequest
 # minus in-process-only `graph`)
 _SERVE_FIELDS = (
@@ -538,6 +569,13 @@ def _stats_response(engine, request_id) -> dict:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs.telemetry import (
+        JsonlExporter,
+        PrometheusFileExporter,
+        PrometheusHTTPExporter,
+        TelemetryBus,
+        set_bus,
+    )
     from repro.serve import QueryEngine, StructureCache
 
     if args.cache_bytes < 1:
@@ -548,6 +586,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
         _fail("--max-queue must be >= 1")
     if args.max_batch < 1:
         _fail("--max-batch must be >= 1")
+    if args.slow_query_ms is not None and args.slow_query_ms <= 0:
+        _fail("--slow-query-ms must be > 0")
+    if args.metrics_interval <= 0:
+        _fail("--metrics-interval must be > 0")
+    if args.metrics_port is not None and not 0 <= args.metrics_port <= 65535:
+        _fail("--metrics-port must be in [0, 65535]")
     if args.input and not os.path.exists(args.input):
         _fail(f"no such file: {args.input}")
     stream = open(args.input, encoding="utf-8") if args.input else sys.stdin
@@ -569,7 +613,28 @@ def cmd_serve(args: argparse.Namespace) -> int:
             backend=args.backend,
             workers=args.workers,
             default_timeout=args.timeout,
+            slow_query_s=(
+                args.slow_query_ms / 1e3 if args.slow_query_ms is not None else None
+            ),
         )
+        # live exposers: snapshot pollers run off the registry directly,
+        # the JSONL event stream rides the telemetry bus
+        exposers = []
+        telemetry = None
+        if args.metrics_file:
+            exposers.append(PrometheusFileExporter(
+                registry, args.metrics_file, interval_s=args.metrics_interval,
+            ))
+        if args.metrics_port is not None:
+            http_exposer = PrometheusHTTPExporter(registry, port=args.metrics_port)
+            exposers.append(http_exposer)
+            print(
+                f"serving metrics at http://127.0.0.1:{http_exposer.port}/metrics",
+                file=sys.stderr,
+            )
+        if args.events_output:
+            telemetry = TelemetryBus((JsonlExporter(args.events_output),))
+            set_bus(telemetry)
         try:
             engine.start()
             if args.pipeline:
@@ -578,6 +643,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 served = _serve_sequential(engine, stream, emit)
         finally:
             engine.stop()
+            if telemetry is not None:
+                set_bus(None)
+                telemetry.close()
+                print(
+                    f"wrote event stream to {args.events_output}", file=sys.stderr
+                )
+            for exposer in exposers:
+                exposer.close()
             stats = cache.stats()
             cache.clear()  # unlink any --share segments before exit
             if args.input:
@@ -838,7 +911,39 @@ def build_parser() -> argparse.ArgumentParser:
                         "(responses keep input order)")
     p.add_argument("--metrics-output", metavar="FILE",
                    help="write the serve.* metrics snapshot here on exit")
+    p.add_argument("--metrics-file", metavar="FILE",
+                   help="continuously re-export live metrics here in "
+                        "Prometheus text format (atomic replace)")
+    p.add_argument("--metrics-interval", type=float, default=1.0,
+                   metavar="SECONDS",
+                   help="--metrics-file refresh interval (default: 1.0)")
+    p.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
+                   help="also serve live metrics over HTTP on 127.0.0.1:PORT "
+                        "(0 picks an ephemeral port, printed to stderr)")
+    p.add_argument("--events-output", metavar="FILE",
+                   help="stream telemetry events (span open/close, counter "
+                        "increments, slow queries) here as JSON lines")
+    p.add_argument("--slow-query-ms", type=float, default=None,
+                   metavar="MS",
+                   help="emit a slow_query event for requests whose latency "
+                        "exceeds MS milliseconds (needs --events-output)")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "metrics", help="render recorded metrics in Prometheus text format"
+    )
+    p.add_argument("--input", metavar="FILE",
+                   help="metrics source: a raw snapshot, an obs report, or "
+                        "a ledger run record (JSON)")
+    p.add_argument("--run", metavar="REF",
+                   help="render a ledger run's metrics (run id, unique "
+                        "prefix, latest, or latest~N)")
+    p.add_argument("--ledger", metavar="DIR", default=DEFAULT_LEDGER_DIR,
+                   help="run-ledger directory for --run (default: runs/)")
+    p.add_argument("--label", action="append", default=[], metavar="K=V",
+                   help="attach a constant label to every sample "
+                        "(repeatable)")
+    p.set_defaults(fn=cmd_metrics)
 
     p = sub.add_parser(
         "query", help="one-shot query through the engine (warm cache first)"

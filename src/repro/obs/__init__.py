@@ -34,6 +34,22 @@ from repro.obs.registry import (
     use_registry,
 )
 from repro.obs.spans import NULL_SPAN, Span, clock
+from repro.obs.telemetry import (
+    NULL_BUS,
+    Exporter,
+    JsonlExporter,
+    PrometheusFileExporter,
+    PrometheusHTTPExporter,
+    TelemetryBus,
+    TraceContext,
+    get_bus,
+    prometheus_exposition,
+    set_bus,
+    stitch_worker_payloads,
+    use_bus,
+    worker_payload,
+    worker_telemetry_session,
+)
 from repro.obs.ledger import (
     DEFAULT_LEDGER_DIR,
     Ledger,
@@ -83,6 +99,20 @@ __all__ = [
     "Span",
     "NULL_SPAN",
     "clock",
+    "NULL_BUS",
+    "Exporter",
+    "JsonlExporter",
+    "PrometheusFileExporter",
+    "PrometheusHTTPExporter",
+    "TelemetryBus",
+    "TraceContext",
+    "get_bus",
+    "prometheus_exposition",
+    "set_bus",
+    "stitch_worker_payloads",
+    "use_bus",
+    "worker_payload",
+    "worker_telemetry_session",
     "DEFAULT_LEDGER_DIR",
     "Ledger",
     "LedgerError",

@@ -412,6 +412,9 @@ def ledger_metric_kind(key: str) -> str:
     """
     if key.endswith(".triangles"):
         return "exact"
+    if key.endswith(".overhead_ratio"):
+        # telemetry self-measurement: gated against an absolute ceiling
+        return "ceiling"
     if ".sched." in key:
         # scheduler-dependent metrics (tile/chunk/steal counts, pool waits,
         # shm sizes) vary with worker count and backend by design; they are

@@ -165,6 +165,30 @@ class Histogram:
             "max": self.max,
         }
 
+    def merge_snapshot(self, snap: dict[str, Any]) -> None:
+        """Fold another histogram's snapshot into this one bucket-wise.
+
+        Used when stitching worker-process metric deltas back into the
+        parent registry (:func:`repro.obs.telemetry.stitch_worker_payloads`);
+        requires identical bucket bounds.
+        """
+        bounds = tuple(snap.get("buckets") or ())
+        if bounds != self.buckets:
+            raise ValueError(
+                f"cannot merge histogram {self.name!r}: bucket bounds differ"
+            )
+        counts = snap.get("counts") or [0] * len(self.counts)
+        with self._lock:
+            for idx, c in enumerate(counts):
+                self.counts[idx] += c
+            self.count += snap.get("count", 0)
+            self.sum += snap.get("sum", 0.0)
+            smin, smax = snap.get("min"), snap.get("max")
+            if smin is not None and (self.min is None or smin < self.min):
+                self.min = smin
+            if smax is not None and (self.max is None or smax > self.max):
+                self.max = smax
+
 
 class MetricsRegistry:
     """Holds every metric and span tree of one observed run."""
@@ -308,6 +332,29 @@ class MetricsRegistry:
             kind: {n: v for n, v in table.items() if n.startswith(dot)}
             for kind, table in snap.items()
         }
+
+    def histogram_quantile(self, name: str, q: float) -> float | None:
+        """Quantile of a *registered* histogram, or ``None``.
+
+        Unlike :meth:`Histogram.quantile` (which reports ``0.0`` on an
+        empty histogram), this returns ``None`` when the histogram does
+        not exist or has no observations — callers polling a live
+        registry mid-session must be able to tell "no data yet" from a
+        genuine zero latency.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        hist = self._histograms.get(name)
+        if hist is None or hist.count == 0:
+            return None
+        return hist.quantile(q)
+
+    def to_prometheus(self, labels: dict[str, str] | None = None) -> str:
+        """The registry in Prometheus text exposition format
+        (:func:`repro.obs.telemetry.prometheus_exposition`)."""
+        from repro.obs.telemetry import prometheus_exposition
+
+        return prometheus_exposition(self.snapshot(), labels=labels)
 
 
 class _NullCounter(Counter):

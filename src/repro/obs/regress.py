@@ -11,8 +11,17 @@ when any tracked metric *regresses* beyond its tolerance:
   ``--share-tol`` in either direction (the locality *attribution* is a
   claim of its own: misses silently migrating between regions is a
   regression even when totals hold);
+* ``*.overhead_ratio`` — ceiling: the telemetry self-measurement
+  (:func:`repro.obs.trajectory.build_telemetry_overhead_measurements`)
+  must stay under an *absolute* ceiling (``--overhead-ceiling``,
+  default 1.25 to absorb shared-CI noise; the design target is <= 1.05
+  on EU15).  Unlike every other kind, a ceiling metric is gated even
+  when it only appears in the candidate — instrumentation that slows
+  the pipeline down must not pass just because the baseline predates
+  the measurement;
 * a tracked metric missing from the candidate is a regression (the
-  suite silently shrank); candidate-only metrics are informational.
+  suite silently shrank); candidate-only metrics are informational
+  (except ceiling metrics, see above).
 
 The baseline may come from a committed ``BENCH_*.json`` file or — with
 ``--against-run`` — from any entry of the run ledger
@@ -38,6 +47,7 @@ from typing import Any, Callable
 __all__ = [
     "DEFAULT_REL_TOL",
     "DEFAULT_SHARE_TOL",
+    "DEFAULT_OVERHEAD_CEILING",
     "MetricDelta",
     "artifact_from_record",
     "load_artifact",
@@ -49,6 +59,11 @@ __all__ = [
 
 DEFAULT_REL_TOL = 0.02
 DEFAULT_SHARE_TOL = 0.02
+# Absolute gate for telemetry.*.overhead_ratio: candidate telemetry may
+# slow a count down by at most this factor.  The design target is 1.05
+# (<= 5% with every exporter live, docs/observability.md); the gate adds
+# headroom for noisy shared CI runners.
+DEFAULT_OVERHEAD_CEILING = 1.25
 
 
 @dataclass(frozen=True)
@@ -58,7 +73,8 @@ class MetricDelta:
     key: str
     baseline: float | None
     candidate: float | None
-    kind: str  # "exact" | "count" | "share" | "floor" | "timing" | "missing" | "new"
+    kind: str  # "exact" | "count" | "share" | "floor" | "ceiling" | "timing"
+    #           | "missing" | "new"
     regressed: bool
     reason: str = ""
 
@@ -77,6 +93,8 @@ def load_artifact(path: str | pathlib.Path) -> dict[str, Any]:
 def _metric_kind(key: str) -> str:
     if key.endswith(".triangles"):
         return "exact"
+    if key.endswith(".overhead_ratio"):
+        return "ceiling"
     if key.startswith("serve."):
         # serving latencies / hit rates vary with machine load; they are
         # tracked for trend lines, never gated
@@ -115,14 +133,17 @@ def compare_artifacts(
     rel_tol: float = DEFAULT_REL_TOL,
     share_tol: float = DEFAULT_SHARE_TOL,
     kind_fn: Callable[[str], str] = _metric_kind,
+    overhead_ceiling: float = DEFAULT_OVERHEAD_CEILING,
 ) -> list[MetricDelta]:
     """Per-metric comparison; see the module docstring for the rules.
 
     ``kind_fn`` maps a metric key to its tolerance class (``exact`` /
-    ``share`` / ``count`` / ``timing``); the default is the trajectory
-    map, and the run ledger passes its own
+    ``share`` / ``count`` / ``ceiling`` / ``timing``); the default is
+    the trajectory map, and the run ledger passes its own
     (:func:`repro.obs.ledger.ledger_metric_kind`).  ``timing`` metrics
     are reported but never regress — wall-clock is not gated.
+    ``ceiling`` metrics gate against the absolute ``overhead_ceiling``
+    even when they are candidate-only.
     """
     base_metrics: dict[str, float] = baseline["metrics"]
     cand_metrics: dict[str, float] = candidate["metrics"]
@@ -146,6 +167,13 @@ def compare_artifacts(
         elif kind == "timing":
             regressed = False
             reason = ""
+        elif kind == "ceiling":
+            regressed = cand_value > overhead_ceiling
+            reason = (
+                f"{cand_value:.4f} > absolute ceiling {overhead_ceiling}"
+                if regressed
+                else ""
+            )
         elif kind == "floor":
             # bigger-is-better (speedups): regress when the candidate drops
             limit = base_value * (1.0 - rel_tol)
@@ -166,6 +194,19 @@ def compare_artifacts(
         deltas.append(MetricDelta(key, base_value, cand_value, kind, regressed, reason))
     for key, cand_value in cand_metrics.items():
         if key not in base_metrics:
+            if kind_fn(key) == "ceiling":
+                # absolute gates apply even without a baseline value:
+                # new instrumentation must prove its own overhead
+                regressed = cand_value > overhead_ceiling
+                reason = (
+                    f"{cand_value:.4f} > absolute ceiling {overhead_ceiling}"
+                    if regressed
+                    else ""
+                )
+                deltas.append(
+                    MetricDelta(key, None, cand_value, "ceiling", regressed, reason)
+                )
+                continue
             deltas.append(MetricDelta(key, None, cand_value, "new", False,
                                       "not in baseline (informational)"))
     return deltas
@@ -236,6 +277,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="relative tolerance for miss/access totals")
     parser.add_argument("--share-tol", type=float, default=DEFAULT_SHARE_TOL,
                         help="absolute tolerance for attribution shares")
+    parser.add_argument("--overhead-ceiling", type=float,
+                        default=DEFAULT_OVERHEAD_CEILING,
+                        help="absolute ceiling for telemetry overhead "
+                             "ratios (default: %(default)s)")
     parser.add_argument("-v", "--verbose", action="store_true",
                         help="also list non-regressed metrics")
     args = parser.parse_args(argv)
@@ -275,7 +320,8 @@ def main(argv: list[str] | None = None) -> int:
 
         kind_fn = ledger_metric_kind
     deltas = compare_artifacts(baseline, candidate, rel_tol=args.rel_tol,
-                               share_tol=args.share_tol, kind_fn=kind_fn)
+                               share_tol=args.share_tol, kind_fn=kind_fn,
+                               overhead_ceiling=args.overhead_ceiling)
     print(f"baseline:  {baseline_desc} (generated {baseline.get('generated')})")
     print(f"candidate: {candidate_path} (generated {candidate.get('generated')})")
     print(format_deltas(deltas, verbose=args.verbose))

@@ -8,6 +8,19 @@ a child, which is how the end-to-end LOTUS run produces the
 ``lotus -> preprocess / hhh+hhn / hnn / nnn`` tree that mirrors the
 paper's Figure 6 breakdown.
 
+Every span carries a stable identity for cross-process trace
+propagation (:mod:`repro.obs.telemetry`):
+
+- ``span_id``   -- 16-hex random id, assigned at construction;
+- ``trace_id``  -- inherited from the parent at enter time (a root span
+  starts a fresh trace);
+- ``parent_id`` -- the parent's ``span_id`` (``None`` for roots);
+- ``start``     -- absolute :func:`clock` timestamp at enter.  Because
+  :func:`repro.util.timer.clock` is CLOCK_MONOTONIC on Linux, starts
+  recorded in forked/spawned worker processes are directly comparable
+  with the parent's, which is what lets the Chrome-trace exporter lay
+  worker spans out on a real shared timeline.
+
 Spans are created through :meth:`repro.obs.registry.MetricsRegistry.span`;
 this module only defines the data model and the context manager.
 """
@@ -23,6 +36,11 @@ __all__ = ["Span", "SpanContext", "NULL_SPAN", "clock"]
 # PhaseTimer phases are always directly comparable (docs/api.md).
 from repro.util.timer import clock
 
+# telemetry imports only the standard library at module level, so this
+# does not create an import cycle even though telemetry lazily imports
+# Span inside its stitching helpers.
+from repro.obs.telemetry import get_bus, new_id
+
 
 class Span:
     """One timed region of the pipeline with attributes and children.
@@ -33,7 +51,10 @@ class Span:
     off (the null span reports ``False``).
     """
 
-    __slots__ = ("name", "elapsed", "attrs", "children")
+    __slots__ = (
+        "name", "elapsed", "attrs", "children",
+        "trace_id", "span_id", "parent_id", "start",
+    )
 
     enabled = True
 
@@ -42,6 +63,10 @@ class Span:
         self.elapsed: float = 0.0
         self.attrs: dict[str, Any] = dict(attrs) if attrs else {}
         self.children: list["Span"] = []
+        self.trace_id: str | None = None
+        self.span_id: str = new_id()
+        self.parent_id: str | None = None
+        self.start: float = 0.0
 
     # -- attribute recording ----------------------------------------------
     def set(self, key: str, value: Any) -> None:
@@ -83,6 +108,13 @@ class Span:
     # -- (de)serialisation -------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
         out: dict[str, Any] = {"name": self.name, "elapsed": self.elapsed}
+        out["span_id"] = self.span_id
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
+        if self.parent_id is not None:
+            out["parent_id"] = self.parent_id
+        if self.start:
+            out["start"] = self.start
         if self.attrs:
             out["attrs"] = dict(self.attrs)
         if self.children:
@@ -93,6 +125,11 @@ class Span:
     def from_dict(cls, data: dict[str, Any]) -> "Span":
         span = cls(data["name"], data.get("attrs"))
         span.elapsed = float(data.get("elapsed", 0.0))
+        if "span_id" in data:
+            span.span_id = str(data["span_id"])
+        span.trace_id = data.get("trace_id")
+        span.parent_id = data.get("parent_id")
+        span.start = float(data.get("start", 0.0))
         span.children = [cls.from_dict(c) for c in data.get("children", [])]
         return span
 
@@ -132,6 +169,10 @@ class SpanContext:
     ``parent`` handed across threads, as the parallel executor does); on
     exit the finished span is attached to the parent's children, or to
     the registry's roots when there is no parent.
+
+    Enter/exit also publish ``span_open`` / ``span_close`` events to the
+    active :class:`~repro.obs.telemetry.TelemetryBus` (a no-op unless an
+    exporter session is running).
     """
 
     __slots__ = ("_registry", "_span", "_parent", "_start")
@@ -151,16 +192,45 @@ class SpanContext:
     def __enter__(self) -> Span:
         if self._parent is None:
             self._parent = self._registry.current_span()
-        self._registry._push_span(self._span)
-        self._start = clock()
-        return self._span
+        span = self._span
+        parent = self._parent
+        if parent is not None and parent.enabled:
+            span.parent_id = parent.span_id
+            span.trace_id = parent.trace_id
+        if span.trace_id is None:
+            span.trace_id = new_id()
+        self._registry._push_span(span)
+        self._start = span.start = clock()
+        bus = get_bus()
+        if bus.enabled:
+            bus.emit({
+                "event": "span_open",
+                "name": span.name,
+                "trace_id": span.trace_id,
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "ts": span.start,
+            })
+        return span
 
     def __exit__(self, *exc: object) -> None:
         # runs on exceptions too (the `with` protocol), so the span stack
         # always unwinds and no open span leaks into the next run's tree
-        self._span.elapsed = clock() - self._start
-        self._registry._pop_span(self._span)
-        self._registry._attach_span(self._span, self._parent)
+        span = self._span
+        span.elapsed = clock() - self._start
+        self._registry._pop_span(span)
+        self._registry._attach_span(span, self._parent)
+        bus = get_bus()
+        if bus.enabled:
+            bus.emit({
+                "event": "span_close",
+                "name": span.name,
+                "trace_id": span.trace_id,
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "elapsed": span.elapsed,
+                "attrs": dict(span.attrs),
+            })
 
 
 class NullSpanContext:

@@ -5,18 +5,29 @@ Trace Event Format consumed by ``chrome://tracing`` and
 https://ui.perfetto.dev — the paper's Figure-6 phase breakdown as an
 interactive timeline.
 
-Spans record *durations*, not absolute start times, so the exporter
-reconstructs a timeline: root spans are laid end to end and each span's
-children are packed sequentially from their parent's start.  When timer
-jitter makes the children sum to slightly more than the parent, the
-children are scaled down proportionally so the containment invariant the
-viewers rely on (child interval inside parent interval) always holds.
+Spans recorded live carry absolute :func:`repro.util.timer.clock`
+start timestamps (including spans recorded *inside* procpool worker
+processes, whose CLOCK_MONOTONIC readings are comparable with the
+parent's), so the exporter lays them out on a real shared timeline:
+``ts`` is the span's start offset from the earliest start in the
+document, clamped into the parent's interval against rounding jitter.
+Spans without a start (legacy reports, hand-built trees) fall back to
+the synthesized layout: roots end to end, children packed sequentially
+from their parent's start, scaled down proportionally when timer jitter
+makes them overflow so the containment invariant (child interval inside
+parent interval) always holds.
 
 Every span becomes one complete ("ph": "X") event whose ``dur`` is the
 span's elapsed time in microseconds and whose ``args`` carry the span
-attributes.  :func:`spans_from_trace` reconstructs the span trees from
-an exported document (names, nesting, durations), which is how the CI
-smoke job validates round-tripping.
+attributes.  Each event also carries the span's ``trace_id`` /
+``span_id`` / ``parent_span_id`` (the structural parent), and spans
+whose attrs record a worker ``pid`` are placed in that pid's lane —
+which is how a ``--backend processes`` export shows true worker-side
+nesting under ``phase1`` with distinct pids.  :func:`spans_from_trace`
+reconstructs the span trees exactly from those ids (names, nesting,
+durations, trace identity), falling back to interval containment for
+traces exported before ids existed; the CI smoke job validates the
+round trip.
 """
 
 from __future__ import annotations
@@ -64,42 +75,88 @@ def spans_to_trace_events(
             "args": {"name": process_name},
         }
     ]
+    named_pids = {pid}
 
-    def emit(span: Span, start: float) -> None:
-        events.append(
-            {
-                "name": span.name,
-                "cat": "span",
-                "ph": "X",
-                "ts": round(start * 1e6, 3),
-                "dur": round(span.elapsed * 1e6, 3),
-                "pid": pid,
-                "tid": tid,
-                "args": _jsonify_attrs(span.attrs),
-            }
-        )
-        child_total = sum(c.elapsed for c in span.children)
-        scale = 1.0
-        if child_total > span.elapsed > 0.0:
-            scale = span.elapsed / child_total
-        cursor = start
-        for child in span.children:
-            emit_scaled(child, cursor, scale)
-            cursor += child.elapsed * scale
+    starts = [s.start for r in roots for s in r.iter_spans() if s.start > 0]
+    origin = min(starts) if starts else 0.0
 
-    def emit_scaled(span: Span, start: float, scale: float) -> None:
-        if scale == 1.0:
-            emit(span, start)
+    def lane_for(span: Span, inherited: int) -> int:
+        lane = span.attrs.get("pid")
+        if isinstance(lane, int) and not isinstance(lane, bool) and lane > 0:
+            if lane not in named_pids:
+                named_pids.add(lane)
+                events.append(
+                    {
+                        "name": "process_name",
+                        "ph": "M",
+                        "pid": lane,
+                        "tid": tid,
+                        "args": {"name": f"{process_name} worker (pid {lane})"},
+                    }
+                )
+            return lane
+        return inherited
+
+    def emit(
+        span: Span,
+        start_us: float,
+        dur_us: float,
+        lane_pid: int,
+        parent_sid: str | None,
+        real_ok: bool,
+    ) -> None:
+        ev_pid = lane_for(span, lane_pid)
+        event: dict[str, Any] = {
+            "name": span.name,
+            "cat": "span",
+            "ph": "X",
+            "ts": round(start_us, 3),
+            "dur": round(dur_us, 3),
+            "pid": ev_pid,
+            "tid": tid,
+            "args": _jsonify_attrs(span.attrs),
+            "span_id": span.span_id,
+        }
+        if span.trace_id is not None:
+            event["trace_id"] = span.trace_id
+        if parent_sid is not None:
+            event["parent_span_id"] = parent_sid
+        events.append(event)
+        if not span.children:
             return
-        clone = Span(span.name, span.attrs)
-        clone.elapsed = span.elapsed * scale
-        clone.children = span.children
-        emit(clone, start)
+        if real_ok and all(c.start > 0 for c in span.children):
+            # real timeline: each child at its recorded offset, clamped
+            # into the parent interval against cross-process jitter
+            for child in span.children:
+                cdur = min(child.elapsed * 1e6, dur_us)
+                cts = (child.start - origin) * 1e6
+                cts = max(cts, start_us)
+                if cts + cdur > start_us + dur_us:
+                    cts = max(start_us, start_us + dur_us - cdur)
+                emit(child, cts, cdur, ev_pid, span.span_id, True)
+            return
+        # synthesized layout: pack sequentially, scale on jitter overflow
+        child_total_us = sum(c.elapsed for c in span.children) * 1e6
+        scale = 1.0
+        if child_total_us > dur_us > 0.0:
+            scale = dur_us / child_total_us
+        cursor = start_us
+        for child in span.children:
+            cdur = child.elapsed * scale * 1e6
+            emit(child, cursor, cdur, ev_pid, span.span_id, False)
+            cursor += cdur
 
-    cursor = 0.0
+    real_root_ends = [
+        (r.start - origin) * 1e6 + r.elapsed * 1e6 for r in roots if r.start > 0
+    ]
+    cursor = max(real_root_ends) if real_root_ends else 0.0
     for root in roots:
-        emit(root, cursor)
-        cursor += root.elapsed
+        if root.start > 0:
+            emit(root, (root.start - origin) * 1e6, root.elapsed * 1e6,
+                 pid, None, True)
+        else:
+            emit(root, cursor, root.elapsed * 1e6, pid, None, False)
+            cursor += root.elapsed * 1e6
     return events
 
 
@@ -136,13 +193,51 @@ def trace_from_record(record: dict[str, Any]) -> dict[str, Any]:
 def spans_from_trace(trace: dict[str, Any]) -> list[Span]:
     """Rebuild span trees from an exported trace (the round-trip check).
 
-    Only complete ("X") events are considered; nesting is recovered from
-    interval containment per (pid, tid) lane, which is exactly the
-    invariant the exporter guarantees.
+    Only complete ("X") events are considered.  When every event carries
+    a ``span_id`` (everything this exporter writes), nesting is
+    recovered *exactly* from ``parent_span_id`` and each span's trace
+    identity (``trace_id``/``span_id``/``parent_id``) round-trips;
+    siblings order by ``ts``.  Traces from before span ids fall back to
+    interval containment per (pid, tid) lane.
     """
     events = [e for e in trace.get("traceEvents", []) if e.get("ph") == "X"]
-    events.sort(key=lambda e: (e.get("pid", 0), e.get("tid", 0),
-                               e["ts"], -e["dur"]))
+    if events and all("span_id" in e for e in events):
+        return _spans_from_ids(events)
+    return _spans_from_containment(events)
+
+
+def _spans_from_ids(events: list[dict[str, Any]]) -> list[Span]:
+    order = sorted(
+        range(len(events)),
+        key=lambda i: (events[i]["ts"], -events[i]["dur"], i),
+    )
+    by_id: dict[str, Span] = {}
+    roots: list[Span] = []
+    pending: list[tuple[str | None, Span]] = []
+    for i in order:
+        event = events[i]
+        span = Span(event["name"], event.get("args") or None)
+        span.elapsed = event["dur"] / 1e6
+        span.start = event["ts"] / 1e6  # origin-relative
+        span.span_id = str(event["span_id"])
+        span.trace_id = event.get("trace_id")
+        span.parent_id = event.get("parent_span_id")
+        by_id[span.span_id] = span
+        pending.append((span.parent_id, span))
+    for parent_id, span in pending:
+        parent = by_id.get(parent_id) if parent_id is not None else None
+        if parent is not None and parent is not span:
+            parent.children.append(span)
+        else:
+            roots.append(span)
+    return roots
+
+
+def _spans_from_containment(events: list[dict[str, Any]]) -> list[Span]:
+    events = sorted(
+        events,
+        key=lambda e: (e.get("pid", 0), e.get("tid", 0), e["ts"], -e["dur"]),
+    )
     roots: list[Span] = []
     # stack of (span, lane, ts, end)
     stack: list[tuple[Span, tuple[int, int], float, float]] = []

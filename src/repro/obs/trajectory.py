@@ -35,8 +35,11 @@ __all__ = [
     "SCALING_WORKERS",
     "SERVE_DATASET",
     "SERVE_REQUESTS",
+    "TELEMETRY_DATASET",
+    "TELEMETRY_REPEATS",
     "build_scaling_measurements",
     "build_serve_measurements",
+    "build_telemetry_overhead_measurements",
     "build_trajectory_artifact",
     "write_trajectory_artifact",
 ]
@@ -66,6 +69,17 @@ SCALING_WORKERS: tuple[int, ...] = (1, 2, 4)
 # request plan but rides along under the same never-gate rule).
 SERVE_DATASET = "LJGrp"
 SERVE_REQUESTS = 12
+
+# Pinned telemetry-overhead run: one LOTUS count with observability fully
+# off versus fully on (metrics registry + telemetry bus + both live
+# exporters).  The gated metric is the on/off wall-time ratio — the one
+# timing-derived number the gate *does* check, because it is a ratio of
+# two runs on the same host in the same process and so cancels machine
+# speed.  The regression gate holds it under a documented ceiling
+# (:data:`repro.obs.regress.DEFAULT_OVERHEAD_CEILING`); the design
+# target is <= 1.05 on EU15.
+TELEMETRY_DATASET = "EU15"
+TELEMETRY_REPEATS = 3
 
 
 def build_scaling_measurements(
@@ -177,12 +191,86 @@ def build_serve_measurements(
     return metrics, info
 
 
+def build_telemetry_overhead_measurements(
+    dataset: str = TELEMETRY_DATASET,
+    repeats: int = TELEMETRY_REPEATS,
+) -> tuple[dict[str, float], dict[str, Any]]:
+    """Self-measured telemetry overhead: count with obs off versus on.
+
+    The "on" configuration is the full live pipeline a serve session
+    would run: an enabled :class:`~repro.obs.registry.MetricsRegistry`,
+    a :class:`~repro.obs.telemetry.TelemetryBus` streaming every span
+    open/close to a JSONL exporter, and a background
+    :class:`~repro.obs.telemetry.PrometheusFileExporter` re-exporting
+    the registry.  Both sides take the best of ``repeats`` runs so the
+    ratio compares steady-state floors, not scheduler noise.  Returns
+    ``(metrics, info)`` where the single gated metric is
+    ``telemetry.<dataset>.overhead_ratio``.
+    """
+    import os
+    import tempfile
+    import time
+
+    from repro.core import count_triangles_lotus
+    from repro.graph import load_dataset
+    from repro.obs import use_registry
+    from repro.obs.telemetry import (
+        JsonlExporter,
+        PrometheusFileExporter,
+        TelemetryBus,
+        use_bus,
+    )
+
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    graph = load_dataset(dataset)
+    expected = count_triangles_lotus(graph).triangles  # warm-up + canary
+
+    def best_of(run) -> float:
+        times = []
+        for _ in range(repeats):
+            started = time.perf_counter()
+            result = run()
+            times.append(time.perf_counter() - started)
+            if result.triangles != expected:  # pragma: no cover - canary
+                raise AssertionError(
+                    f"telemetry bench diverged on {dataset}: "
+                    f"{result.triangles} != {expected}"
+                )
+        return min(times)
+
+    off_s = best_of(lambda: count_triangles_lotus(graph))
+    events = 0
+    with tempfile.TemporaryDirectory(prefix="repro-telemetry-") as tmp:
+        jsonl = JsonlExporter(os.path.join(tmp, "events.jsonl"))
+        with use_registry() as registry:
+            exposer = PrometheusFileExporter(
+                registry, os.path.join(tmp, "live.prom"), interval_s=0.25
+            )
+            try:
+                with use_bus(TelemetryBus((jsonl,))):
+                    on_s = best_of(lambda: count_triangles_lotus(graph))
+            finally:
+                exposer.close()
+            events = jsonl.events_written
+    ratio = on_s / off_s if off_s > 0 else 1.0
+    metrics = {f"telemetry.{dataset}.overhead_ratio": round(ratio, 4)}
+    info: dict[str, Any] = {
+        f"telemetry.{dataset}.off_seconds": round(off_s, 4),
+        f"telemetry.{dataset}.on_seconds": round(on_s, 4),
+        f"telemetry.{dataset}.repeats": repeats,
+        f"telemetry.{dataset}.events": events,
+    }
+    return metrics, info
+
+
 def build_trajectory_artifact(
     suite: Iterable[str] = DEFAULT_SUITE,
     machines: Iterable[str] = ALL_MACHINES,
     generated: str | None = None,
     scaling: str | None = None,
     serve: str | None = None,
+    telemetry_overhead: str | None = None,
 ) -> dict[str, Any]:
     """Measure the pinned suite and return the artifact as a plain dict.
 
@@ -251,6 +339,12 @@ def build_trajectory_artifact(
         serve_metrics, serve_info = build_serve_measurements(serve)
         metrics.update(serve_metrics)
         info.update(serve_info)
+    if telemetry_overhead:
+        tel_metrics, tel_info = build_telemetry_overhead_measurements(
+            telemetry_overhead
+        )
+        metrics.update(tel_metrics)
+        info.update(tel_info)
     return {
         "schema": TRAJECTORY_SCHEMA_VERSION,
         "kind": "bench-trajectory",
@@ -259,6 +353,7 @@ def build_trajectory_artifact(
         "machines": list(machines),
         "scaling": scaling,
         "serve": serve,
+        "telemetry_overhead": telemetry_overhead,
         "metrics": metrics,
         "info": info,
     }

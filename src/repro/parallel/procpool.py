@@ -12,6 +12,15 @@ Scheduling state — the work-stealing deques of
 table — lives in a second shared segment, so steals are visible across
 processes through ordinary array writes guarded by per-worker locks.
 
+Telemetry crosses the pool boundary for real: when the parent runs with
+an enabled registry, a :class:`repro.obs.telemetry.TraceContext` is
+pickled into each worker, the worker records spans in its own
+in-process registry (true worker-side timestamps, one ``chunk`` child
+per executed chunk), and the resulting span trees + metric deltas come
+back over a dedicated telemetry queue to be stitched under the parent's
+``phase1-processes`` span.  A crashed worker still yields a partial
+trace: the survivors' payloads are drained before the crash is raised.
+
 Counts are bit-identical to the sequential phase for any worker count:
 every tile is executed exactly once and integer addition is associative.
 Both segments are unlinked in a ``finally`` block, including when a
@@ -30,6 +39,7 @@ import numpy as np
 from repro.core.structure import LotusGraph
 from repro.core.tiling import Tile, tiles_for_phase1
 from repro.obs import get_registry
+from repro.obs.telemetry import TraceContext, stitch_worker_payloads
 from repro.parallel.scheduler import TileScheduler, chunk_tiles, plan_assignment
 from repro.util.shm import share_arrays
 
@@ -37,6 +47,9 @@ __all__ = ["WorkerCrashError", "count_hhh_hhn_processes", "FAULT_EXIT_CODE"]
 
 # exit code used by injected worker faults (distinct from signal deaths)
 FAULT_EXIT_CODE = 23
+
+# how long the parent waits for telemetry payloads / crash survivors
+_TELEMETRY_DRAIN_S = 10.0
 
 
 class WorkerCrashError(RuntimeError):
@@ -56,27 +69,11 @@ def _preferred_context(start_method: str | None):
     return multiprocessing.get_context(start_method)
 
 
-def _worker_main(
-    worker_id: int,
-    graph_manifest: dict,
-    sched_manifest: dict,
-    locks,
-    result_queue,
-    fault_worker: int | None,
-) -> None:
-    """Worker entry point: attach, drain the deques, report partials."""
-    if fault_worker == worker_id:
-        # simulate a hard crash (segfault / OOM-kill): no cleanup, no result
-        os._exit(FAULT_EXIT_CODE)
-    started = time.perf_counter()
-    # late import keeps the spawn pickle payload to plain manifests
+def _drain_deques(worker_id: int, lotus, sched, arrs, registry, root_span):
+    """Drain the work-stealing deques; one ``chunk`` span per chunk when
+    ``registry`` is live (the shared null registry makes them free)."""
     from repro.parallel.executor import run_tile_batch
-    from repro.util.shm import attach_arrays
 
-    lotus, graph_handle = LotusGraph.from_shared(graph_manifest)
-    sched_handle = attach_arrays(sched_manifest)
-    arrs = sched_handle.arrays
-    sched = TileScheduler(arrs["queue"], arrs["bounds"], arrs["region"], locks)
     chunk_indptr = arrs["chunk_indptr"]
     tv, ts, te, tw = (
         arrs["tile_vertex"], arrs["tile_start"], arrs["tile_stop"], arrs["tile_work"],
@@ -92,12 +89,62 @@ def _worker_main(
             Tile(int(tv[i]), int(ts[i]), int(te[i]), int(tw[i]))
             for i in range(lo, hi)
         ]
-        a, b = run_tile_batch(lotus, batch)
+        with registry.span(
+            "chunk", parent=root_span, chunk=int(chunk), stolen=bool(was_stolen)
+        ) as cspan:
+            a, b = run_tile_batch(lotus, batch)
+            cspan.set("tiles", hi - lo)
+            cspan.set("hits", a + b)
         hhh += a
         hhn += b
         executed += 1
         if was_stolen:
             stolen += 1
+    return hhh, hhn, executed, stolen
+
+
+def _worker_main(
+    worker_id: int,
+    graph_manifest: dict,
+    sched_manifest: dict,
+    locks,
+    result_queue,
+    telemetry_queue,
+    trace_wire: dict | None,
+    fault_worker: int | None,
+) -> None:
+    """Worker entry point: attach, drain the deques, report partials."""
+    if fault_worker == worker_id:
+        # simulate a hard crash (segfault / OOM-kill): no cleanup, no result
+        os._exit(FAULT_EXIT_CODE)
+    started = time.perf_counter()
+    # late import keeps the spawn pickle payload to plain manifests
+    from repro.util.shm import attach_arrays
+
+    lotus, graph_handle = LotusGraph.from_shared(graph_manifest)
+    sched_handle = attach_arrays(sched_manifest)
+    arrs = sched_handle.arrays
+    sched = TileScheduler(arrs["queue"], arrs["bounds"], arrs["region"], locks)
+    if trace_wire is not None:
+        from repro.obs.telemetry import worker_payload, worker_telemetry_session
+
+        with worker_telemetry_session(
+            trace_wire, "worker", worker=worker_id, pid=os.getpid()
+        ) as (wreg, wspan):
+            hhh, hhn, executed, stolen = _drain_deques(
+                worker_id, lotus, sched, arrs, wreg, wspan
+            )
+            wspan.set("executed", executed)
+            wspan.set("stolen", stolen)
+            wspan.set("hits", hhh + hhn)
+            wspan.set("wall_s", time.perf_counter() - started)
+        telemetry_queue.put(worker_payload(wreg, worker_id, os.getpid()))
+    else:
+        from repro.obs.registry import NULL_REGISTRY
+
+        hhh, hhn, executed, stolen = _drain_deques(
+            worker_id, lotus, sched, arrs, NULL_REGISTRY, None
+        )
     result_queue.put(
         {
             "worker": worker_id,
@@ -108,9 +155,32 @@ def _worker_main(
             "wall_s": time.perf_counter() - started,
         }
     )
-    del lotus, sched, arrs, chunk_indptr, tv, ts, te, tw
+    del lotus, sched, arrs
     graph_handle.close()
     sched_handle.close()
+
+
+def _drain_nowait(tele_queue, payloads: list) -> None:
+    """Move everything currently readable off the telemetry queue."""
+    if tele_queue is None:
+        return
+    while True:
+        try:
+            payloads.append(tele_queue.get_nowait())
+        except queue_mod.Empty:
+            return
+
+
+def _collect_payloads(tele_queue, expected: int, deadline_s: float) -> list[dict]:
+    """Blocking drain until ``expected`` payloads arrive or time is up."""
+    payloads: list[dict] = []
+    deadline = time.perf_counter() + deadline_s
+    while len(payloads) < expected and time.perf_counter() < deadline:
+        try:
+            payloads.append(tele_queue.get(timeout=0.1))
+        except queue_mod.Empty:
+            pass
+    return payloads
 
 
 def count_hhh_hhn_processes(
@@ -134,6 +204,13 @@ def count_hhh_hhn_processes(
     ``lotus`` (e.g. the serving cache's) — the per-call ``to_shared``
     copy is skipped and the borrowed segment is *not* unlinked here; the
     lender keeps ownership.
+
+    With an enabled registry, each worker runs its own in-process
+    registry under the propagated trace context and the resulting
+    ``worker`` span trees (real worker-side timestamps, one ``chunk``
+    child per chunk, distinct pids) are stitched under the
+    ``phase1-processes`` span — including partial trees from the
+    survivors of an injected crash.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -190,8 +267,13 @@ def count_hhh_hhn_processes(
         phase_span.set("chunks", num_chunks)
         phase_span.set("shm_bytes", shm_bytes)
 
+        trace_ctx = TraceContext.from_span(phase_span)
+        trace_wire = trace_ctx.to_wire() if trace_ctx is not None else None
+
         locks = [ctx.Lock() for _ in range(workers)]
         result_queue = ctx.Queue()
+        telemetry_queue = ctx.Queue() if trace_wire is not None else None
+        telemetry_payloads: list[dict] = []
         procs = []
         try:
             for w in range(workers):
@@ -203,6 +285,8 @@ def count_hhh_hhn_processes(
                         sched_handle.manifest,
                         locks,
                         result_queue,
+                        telemetry_queue,
+                        trace_wire,
                         fault_worker,
                     ),
                     daemon=True,
@@ -218,11 +302,33 @@ def count_hhh_hhn_processes(
                     continue
                 except queue_mod.Empty:
                     pass
+                _drain_nowait(telemetry_queue, telemetry_payloads)
                 dead = [
                     w for w, p in enumerate(procs)
                     if p.exitcode not in (None, 0) and w not in results
                 ]
                 if dead:
+                    if telemetry_queue is not None:
+                        # let the survivors finish (they steal the dead
+                        # worker's chunks) so their partial span trees
+                        # flush through the telemetry channel before the
+                        # crash is surfaced
+                        deadline = time.perf_counter() + _TELEMETRY_DRAIN_S
+                        while time.perf_counter() < deadline and any(
+                            p.exitcode is None
+                            for w, p in enumerate(procs)
+                            if w not in dead
+                        ):
+                            try:
+                                r = result_queue.get(timeout=0.05)
+                                results[r["worker"]] = r
+                            except queue_mod.Empty:
+                                pass
+                            _drain_nowait(telemetry_queue, telemetry_payloads)
+                        _drain_nowait(telemetry_queue, telemetry_payloads)
+                        stitch_worker_payloads(
+                            registry, phase_span, telemetry_payloads
+                        )
                     for p in procs:
                         p.terminate()
                     raise WorkerCrashError(
@@ -235,6 +341,15 @@ def count_hhh_hhn_processes(
                         "all workers exited but results are missing",
                         {w: p.exitcode for w, p in enumerate(procs)},
                     )
+            if telemetry_queue is not None:
+                _drain_nowait(telemetry_queue, telemetry_payloads)
+                telemetry_payloads.extend(
+                    _collect_payloads(
+                        telemetry_queue,
+                        expected=workers - len(telemetry_payloads),
+                        deadline_s=_TELEMETRY_DRAIN_S,
+                    )
+                )
             for p in procs:
                 p.join(timeout=10.0)
         finally:
@@ -243,6 +358,8 @@ def count_hhh_hhn_processes(
                     p.terminate()
                     p.join(timeout=5.0)
             result_queue.close()
+            if telemetry_queue is not None:
+                telemetry_queue.close()
             if graph_handle is not None:
                 graph_handle.unlink()
             sched_handle.unlink()
@@ -256,14 +373,11 @@ def count_hhh_hhn_processes(
         registry.counter("parallel.sched.tasks_stolen").add(total_stolen)
         wall_hist = registry.histogram("parallel.sched.worker_wall_s")
         for w in sorted(results):
-            r = results[w]
-            wall_hist.observe(r["wall_s"])
-            with registry.span("worker", parent=phase_span) as wspan:
-                wspan.set("worker", w)
-                wspan.set("executed", r["executed"])
-                wspan.set("stolen", r["stolen"])
-                wspan.set("wall_s", r["wall_s"])
-                wspan.set("hits", r["hhh"] + r["hhn"])
+            wall_hist.observe(results[w]["wall_s"])
+        # worker spans are the real trees recorded inside the worker
+        # processes, grafted under this phase span via the propagated
+        # trace context (no parent-side synthesis)
+        stitch_worker_payloads(registry, phase_span, telemetry_payloads)
         phase_span.set("hits", hhh + hhn)
         phase_span.set("tasks_stolen", total_stolen)
         return hhh, hhn

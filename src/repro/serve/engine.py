@@ -49,6 +49,13 @@ The ``serve.*`` metric family (exported through the active
 ``serve.batch.size``               histogram micro-batch sizes
 ``serve.latency_seconds``          histogram submit-to-result latency
 ===============================  ==========  =================================
+
+When a :class:`~repro.obs.telemetry.TelemetryBus` is active the engine
+also streams events *during* the session: every counter increment is
+mirrored as a ``counter`` event, and any request whose submit-to-result
+latency exceeds ``slow_query_s`` emits a ``slow_query`` event with its
+id, source, cache outcome and latency (docs/observability.md, "Live
+telemetry").
 """
 
 from __future__ import annotations
@@ -61,6 +68,7 @@ from typing import Any, Callable
 from repro.core.count import lotus_count_from_structure
 from repro.core.structure import LotusConfig
 from repro.obs import get_registry
+from repro.obs.telemetry import get_bus
 from repro.serve.cache import CacheEntry, StructureCache, structure_key
 from repro.serve.request import (
     EngineStoppedError,
@@ -146,11 +154,15 @@ class QueryEngine:
         default_timeout: float | None = None,
         builder: Callable | None = None,
         executor: Callable[[CacheEntry, QueryRequest, str | None, int | None], dict] | None = None,
+        slow_query_s: float | None = None,
     ) -> None:
         if max_queue < 1:
             raise ValueError("max_queue must be >= 1")
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        if slow_query_s is not None and slow_query_s <= 0:
+            raise ValueError("slow_query_s must be positive")
+        self.slow_query_s = slow_query_s
         self.cache = cache if cache is not None else StructureCache()
         self.max_batch = max_batch
         self.backend = backend
@@ -165,6 +177,15 @@ class QueryEngine:
         self._lock = threading.Lock()
         # graph-source memo: avoids re-reading edge-list files per request
         self._sources: dict[tuple, Any] = {}
+
+    # -- telemetry ---------------------------------------------------------
+    @staticmethod
+    def _count(registry: Any, name: str, amount: int = 1) -> None:
+        """Increment a counter and mirror it onto the live event bus."""
+        registry.counter(name).add(amount)
+        bus = get_bus()
+        if bus.enabled:
+            bus.emit({"event": "counter", "name": name, "value": amount})
 
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> "QueryEngine":
@@ -215,11 +236,11 @@ class QueryEngine:
         try:
             self._queue.put_nowait(ticket)
         except queue_mod.Full:
-            registry.counter("serve.requests.rejected").add(1)
+            self._count(registry, "serve.requests.rejected")
             raise QueueFullError(
                 f"queue full ({self._queue.maxsize} requests); retry later"
             ) from None
-        registry.counter("serve.requests.submitted").add(1)
+        self._count(registry, "serve.requests.submitted")
         registry.gauge("serve.queue.depth").set(self._queue.qsize())
         return ticket
 
@@ -293,7 +314,7 @@ class QueryEngine:
         with registry.span(
             "serve:dispatch", source=request0.source_label(), batch=len(live)
         ) as dispatch_span:
-            registry.counter("serve.batches.dispatched").add(1)
+            self._count(registry, "serve.batches.dispatched")
             registry.histogram("serve.batch.size", BATCH_BUCKETS).observe(len(live))
 
             # classify every live request against the cache; the first
@@ -347,7 +368,7 @@ class QueryEngine:
                     self._fail_tickets(peers, f"{type(exc).__name__}: {exc}")
                     continue
                 if len(peers) > 1:
-                    registry.counter("serve.batch.coalesced").add(len(peers) - 1)
+                    self._count(registry, "serve.batch.coalesced", len(peers) - 1)
                 for t in peers:
                     self._finish(
                         t,
@@ -397,8 +418,24 @@ class QueryEngine:
             "cancelled": "serve.requests.cancelled",
             "stopped": "serve.requests.stopped",
         }.get(status, "serve.requests.failed")
-        registry.counter(counter).add(1)
+        self._count(registry, counter)
         registry.histogram("serve.latency_seconds", LATENCY_BUCKETS).observe(latency)
+        bus = get_bus()
+        if (
+            bus.enabled
+            and self.slow_query_s is not None
+            and latency > self.slow_query_s
+        ):
+            bus.emit({
+                "event": "slow_query",
+                "id": request.id,
+                "source": request.source_label(),
+                "algorithm": request.algorithm,
+                "status": status,
+                "cache": cache,
+                "latency_ms": round(latency * 1e3, 3),
+                "threshold_ms": round(self.slow_query_s * 1e3, 3),
+            })
         with registry.span(
             "serve:query",
             source=request.source_label(),

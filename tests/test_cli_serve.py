@@ -160,6 +160,198 @@ class TestServeGolden:
         assert set(glob.glob("/dev/shm/repro-*")) == before
 
 
+class TestServeLiveTelemetry:
+    """PR 7 live exporters: --metrics-file / --events-output / slow-query."""
+
+    def test_metrics_file_live_export(self, tmp_path, edgelist_file, capsys):
+        live = tmp_path / "live.prom"
+        _serve(
+            tmp_path,
+            [json.dumps({"file": edgelist_file}) for _ in range(2)],
+            "--metrics-file", str(live), "--metrics-interval", "0.1",
+        )
+        capsys.readouterr()
+        text = live.read_text()
+        assert "# TYPE serve_requests_submitted counter" in text
+        assert "serve_requests_submitted 2" in text
+        assert "serve_cache_hit 1" in text
+        assert not (tmp_path / "live.prom.tmp").exists()
+
+    def test_events_stream_written_during_session(
+        self, tmp_path, edgelist_file, capsys
+    ):
+        events_path = tmp_path / "events.jsonl"
+        _serve(
+            tmp_path,
+            [json.dumps({"file": edgelist_file, "id": "q0"})],
+            "--events-output", str(events_path),
+        )
+        assert f"wrote event stream to {events_path}" in capsys.readouterr().err
+        events = [json.loads(l) for l in events_path.read_text().splitlines()]
+        kinds = {e["event"] for e in events}
+        assert {"span_open", "span_close", "counter"} <= kinds
+        counters = {e["name"] for e in events if e["event"] == "counter"}
+        assert "serve.requests.submitted" in counters
+        assert "serve.requests.completed" in counters
+        opens = [e for e in events if e["event"] == "span_open"]
+        assert all(e["span_id"] and e["ts"] > 0 for e in opens)
+
+    def test_slow_query_events_emitted(self, tmp_path, edgelist_file, capsys):
+        events_path = tmp_path / "events.jsonl"
+        _serve(
+            tmp_path,
+            [json.dumps({"file": edgelist_file, "id": f"q{i}"})
+             for i in range(2)],
+            "--events-output", str(events_path), "--slow-query-ms", "0.001",
+        )
+        capsys.readouterr()
+        events = [json.loads(l) for l in events_path.read_text().splitlines()]
+        slow = [e for e in events if e["event"] == "slow_query"]
+        assert len(slow) == 2  # every query beats a 1us threshold
+        for e in slow:
+            assert e["latency_ms"] > e["threshold_ms"] == 0.001
+            assert e["id"] in ("q0", "q1")
+            assert e["status"] == "ok" and e["cache"] in ("hit", "miss")
+
+    def test_no_slow_events_under_generous_threshold(
+        self, tmp_path, edgelist_file, capsys
+    ):
+        events_path = tmp_path / "events.jsonl"
+        _serve(
+            tmp_path,
+            [json.dumps({"file": edgelist_file})],
+            "--events-output", str(events_path), "--slow-query-ms", "60000",
+        )
+        capsys.readouterr()
+        events = [json.loads(l) for l in events_path.read_text().splitlines()]
+        assert not [e for e in events if e["event"] == "slow_query"]
+
+    def test_bus_disabled_after_session(self, tmp_path, edgelist_file, capsys):
+        from repro.obs.telemetry import NULL_BUS, get_bus
+
+        _serve(
+            tmp_path,
+            [json.dumps({"file": edgelist_file})],
+            "--events-output", str(tmp_path / "e.jsonl"),
+        )
+        capsys.readouterr()
+        assert get_bus() is NULL_BUS
+
+    @pytest.mark.parametrize(
+        "flag,value",
+        [("--slow-query-ms", "0"), ("--slow-query-ms", "-5"),
+         ("--metrics-interval", "0"), ("--metrics-port", "70000")],
+    )
+    def test_bad_telemetry_flag_exits_2(self, flag, value, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", flag, value])
+        assert exc.value.code == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+
+# golden Prometheus exposition — the exact text a scraper sees; update
+# docs/observability.md if the format ever changes
+PROM_SNAPSHOT = {
+    "counters": {"serve.requests.submitted": 5, "serve.cache.hit": 3},
+    "gauges": {"serve.cache_bytes": 1024.0, "serve.hit_rate": 0.75},
+    "histograms": {
+        "serve.latency_seconds": {
+            "buckets": [0.1, 1.0],
+            "counts": [2, 1, 1],
+            "count": 4,
+            "sum": 3.5,
+            "min": 0.05,
+            "max": 2.0,
+        }
+    },
+}
+
+PROM_GOLDEN = """\
+# TYPE serve_cache_bytes gauge
+serve_cache_bytes 1024
+# TYPE serve_cache_hit counter
+serve_cache_hit 3
+# TYPE serve_hit_rate gauge
+serve_hit_rate 0.75
+# TYPE serve_latency_seconds histogram
+serve_latency_seconds_bucket{le="0.1"} 2
+serve_latency_seconds_bucket{le="1"} 3
+serve_latency_seconds_bucket{le="+Inf"} 4
+serve_latency_seconds_sum 3.5
+serve_latency_seconds_count 4
+# TYPE serve_requests_submitted counter
+serve_requests_submitted 5
+"""
+
+
+class TestMetricsCommand:
+    """`repro metrics`: Prometheus rendering of recorded snapshots."""
+
+    def test_golden_exposition_from_snapshot_file(self, tmp_path, capsys):
+        snap = tmp_path / "snap.json"
+        snap.write_text(json.dumps(PROM_SNAPSHOT))
+        assert main(["metrics", "--input", str(snap)]) == 0
+        assert capsys.readouterr().out == PROM_GOLDEN
+
+    def test_labels_applied_to_every_sample(self, tmp_path, capsys):
+        snap = tmp_path / "snap.json"
+        snap.write_text(json.dumps(PROM_SNAPSHOT))
+        assert main([
+            "metrics", "--input", str(snap), "--label", "job=repro",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert 'serve_cache_hit{job="repro"} 3' in out
+        assert 'serve_latency_seconds_bucket{job="repro",le="+Inf"} 4' in out
+        assert 'serve_latency_seconds_sum{job="repro"} 3.5' in out
+
+    def test_reads_report_and_record_wrappers(self, tmp_path, capsys):
+        wrapped = tmp_path / "report.json"
+        wrapped.write_text(json.dumps({"metrics": PROM_SNAPSHOT}))
+        assert main(["metrics", "--input", str(wrapped)]) == 0
+        assert capsys.readouterr().out == PROM_GOLDEN
+
+    def test_reads_ledger_run(self, tmp_path, capsys):
+        from repro.obs import use_registry
+        from repro.obs.ledger import Ledger, build_run_record
+
+        with use_registry() as reg:
+            reg.counter("serve.requests.submitted").add(9)
+        Ledger(tmp_path / "runs").append(
+            build_run_record(reg, command="serve", config={"command": "serve"})
+        )
+        assert main([
+            "metrics", "--run", "latest", "--ledger", str(tmp_path / "runs"),
+        ]) == 0
+        assert "serve_requests_submitted 9" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["metrics"],  # neither source
+            ["metrics", "--input", "a.json", "--run", "latest"],  # both
+            ["metrics", "--input", "/nonexistent.json"],
+            ["metrics", "--label", "nokey"],
+        ],
+    )
+    def test_usage_errors_exit_2(self, argv, tmp_path, capsys):
+        if "nokey" in argv:
+            snap = tmp_path / "snap.json"
+            snap.write_text(json.dumps(PROM_SNAPSHOT))
+            argv = argv + ["--input", str(snap)]
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_non_metrics_json_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"spans": []}))
+        with pytest.raises(SystemExit) as exc:
+            main(["metrics", "--input", str(bad)])
+        assert exc.value.code == 2
+        assert "no metrics found" in capsys.readouterr().err
+
+
 class TestServeErrorContract:
     def test_missing_input_file_exits_2(self, capsys):
         with pytest.raises(SystemExit) as exc:

@@ -139,6 +139,76 @@ class TestRegistry:
         assert reg.roots == []
 
 
+class TestHistogramMerge:
+    def test_merge_snapshot_folds_counts_and_extremes(self):
+        a = Histogram("x", buckets=(1.0, 2.0, 4.0))
+        b = Histogram("x", buckets=(1.0, 2.0, 4.0))
+        a.observe(0.5)
+        b.observe(3.0)
+        b.observe(100.0)  # overflow bucket
+        a.merge_snapshot(b.snapshot())
+        assert a.count == 3
+        assert a.sum == pytest.approx(103.5)
+        assert a.min == 0.5 and a.max == 100.0
+        assert a.counts == [1, 0, 1, 1]
+
+    def test_merge_snapshot_into_empty_histogram(self):
+        a = Histogram("x", buckets=(1.0,))
+        b = Histogram("x", buckets=(1.0,))
+        b.observe(0.5)
+        a.merge_snapshot(b.snapshot())
+        assert a.count == 1 and a.min == 0.5 and a.max == 0.5
+
+    def test_merge_snapshot_rejects_differing_bounds(self):
+        a = Histogram("x", buckets=(1.0, 2.0))
+        b = Histogram("x", buckets=(1.0, 8.0))
+        with pytest.raises(ValueError, match="bucket bounds differ"):
+            a.merge_snapshot(b.snapshot())
+
+
+class TestRegistryEdgeCases:
+    """Hardened lookups: empty-histogram quantiles and prefix families."""
+
+    def test_histogram_quantile_missing_metric_is_none(self):
+        assert MetricsRegistry().histogram_quantile("nope", 0.5) is None
+
+    def test_histogram_quantile_empty_histogram_is_none(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat")  # registered, never observed
+        assert reg.histogram_quantile("lat", 0.5) is None
+
+    def test_histogram_quantile_observed(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0):
+            hist.observe(v)
+        assert reg.histogram_quantile("lat", 0.5) == hist.quantile(0.5)
+
+    def test_histogram_quantile_rejects_out_of_range(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat")
+        for q in (-0.1, 1.0001):
+            with pytest.raises(ValueError):
+                reg.histogram_quantile("lat", q)
+
+    def test_family_matches_dotted_prefix_only(self):
+        # family("serve") must not leak server.* (or any serveX.*) metrics
+        reg = MetricsRegistry()
+        reg.counter("serve.requests").inc()
+        reg.counter("server.requests").add(7)
+        reg.counter("served").inc()
+        reg.gauge("serve.cache_bytes").set(1.0)
+        fam = reg.family("serve")
+        assert set(fam["counters"]) == {"serve.requests"}
+        assert set(fam["gauges"]) == {"serve.cache_bytes"}
+        assert reg.family("server")["counters"] == {"server.requests": 7}
+
+    def test_family_accepts_trailing_dot(self):
+        reg = MetricsRegistry()
+        reg.counter("serve.requests").inc()
+        assert reg.family("serve.") == reg.family("serve")
+
+
 class TestDisabledMode:
     def test_default_registry_is_disabled(self):
         assert get_registry() is NULL_REGISTRY

@@ -15,6 +15,7 @@ import pathlib
 import pytest
 
 from repro.obs.regress import (
+    DEFAULT_OVERHEAD_CEILING,
     DEFAULT_REL_TOL,
     DEFAULT_SHARE_TOL,
     compare_artifacts,
@@ -52,6 +53,7 @@ _METRICS = {
     "LJGrp.SkyLakeX.forward.dtlb_misses": 5000,
     "LJGrp.SkyLakeX.lotus.region.he.llc_share": 0.66,
     "EU15.phase1.workers4_sim_speedup": 4.0,
+    "telemetry.EU15.overhead_ratio": 1.03,
 }
 
 
@@ -119,6 +121,41 @@ class TestCompareArtifacts:
         cand = dict(_METRICS)
         cand["EU15.phase1.workers4_sim_speedup"] = 8.0
         assert regressions(compare_artifacts(_artifact(_METRICS), _artifact(cand))) == []
+
+    def test_overhead_above_ceiling_regresses(self):
+        cand = dict(_METRICS)
+        cand["telemetry.EU15.overhead_ratio"] = DEFAULT_OVERHEAD_CEILING + 0.01
+        bad = regressions(compare_artifacts(_artifact(_METRICS), _artifact(cand)))
+        assert [d.key for d in bad] == ["telemetry.EU15.overhead_ratio"]
+        assert bad[0].kind == "ceiling"
+        assert "absolute ceiling" in bad[0].reason
+
+    def test_overhead_under_ceiling_passes_even_when_worse(self):
+        # the gate is absolute: growth vs the baseline value alone is fine
+        cand = dict(_METRICS)
+        cand["telemetry.EU15.overhead_ratio"] = DEFAULT_OVERHEAD_CEILING - 0.01
+        assert regressions(compare_artifacts(_artifact(_METRICS), _artifact(cand))) == []
+
+    def test_candidate_only_overhead_metric_is_still_gated(self):
+        # unlike other candidate-only metrics, a ceiling key gates itself
+        cand = dict(_METRICS)
+        cand["telemetry.LJGrp.overhead_ratio"] = DEFAULT_OVERHEAD_CEILING + 0.5
+        bad = regressions(compare_artifacts(_artifact(_METRICS), _artifact(cand)))
+        assert [d.key for d in bad] == ["telemetry.LJGrp.overhead_ratio"]
+        assert bad[0].baseline is None and bad[0].kind == "ceiling"
+        ok = dict(_METRICS)
+        ok["telemetry.LJGrp.overhead_ratio"] = 1.0
+        assert regressions(compare_artifacts(_artifact(_METRICS), _artifact(ok))) == []
+
+    def test_overhead_ceiling_flag_overrides_default(self, tmp_path):
+        cand = dict(_METRICS)
+        cand["telemetry.EU15.overhead_ratio"] = 1.10
+        base_p = tmp_path / "BENCH_baseline.json"
+        cand_p = tmp_path / "BENCH_2026-01-02.json"
+        base_p.write_text(json.dumps(_artifact(_METRICS)))
+        cand_p.write_text(json.dumps(_artifact(cand)))
+        assert main([str(base_p), str(cand_p)]) == 0
+        assert main([str(base_p), str(cand_p), "--overhead-ceiling", "1.05"]) == 1
 
     def test_missing_tracked_metric_is_a_regression(self):
         cand = dict(_METRICS)

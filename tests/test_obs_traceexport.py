@@ -41,12 +41,14 @@ def _tree_shape(span):
 
 class TestEventLayout:
     def test_single_span(self):
-        events = spans_to_trace_events([_span("root", 1.5)])
+        span = _span("root", 1.5)
+        events = spans_to_trace_events([span])
         (meta, ev) = events
         assert meta["ph"] == "M" and meta["name"] == "process_name"
         assert ev == {
             "name": "root", "cat": "span", "ph": "X",
             "ts": 0.0, "dur": 1.5e6, "pid": 1, "tid": 1, "args": {},
+            "span_id": span.span_id,
         }
 
     def test_children_packed_inside_parent(self):
@@ -118,6 +120,74 @@ class TestRoundTrip:
         # microsecond rounding: durations agree to within 1 us per span
         total = sum(r.elapsed for r in roots)
         assert trace_total_duration(trace) == pytest.approx(total, abs=1e-5)
+
+
+class TestTraceIdentity:
+    """trace_id / span_id / parent_id ride through the export and back."""
+
+    def _identity(self, span):
+        return [
+            (s.name, s.trace_id, s.span_id, s.parent_id)
+            for s in span.iter_spans()
+        ]
+
+    def test_live_tree_identity_round_trips_exactly(self):
+        graph = powerlaw_chung_lu(1500, 6.0, exponent=2.2, seed=5)
+        with use_registry() as reg:
+            count_triangles_lotus(graph)
+        roots = reg.roots
+        assert all(s.trace_id and s.span_id for r in roots
+                   for s in r.iter_spans())
+        rebuilt = spans_from_trace(build_trace(roots))
+        assert [self._identity(r) for r in rebuilt] == \
+            [self._identity(r) for r in roots]
+
+    def test_events_carry_trace_and_parent_ids(self):
+        with use_registry() as reg:
+            with reg.span("root") as root:
+                with reg.span("child", parent=root):
+                    pass
+        events = [e for e in spans_to_trace_events(reg.roots)
+                  if e["ph"] == "X"]
+        root_ev, child_ev = events
+        assert root_ev["trace_id"] == child_ev["trace_id"] == root.trace_id
+        assert "parent_span_id" not in root_ev
+        assert child_ev["parent_span_id"] == root_ev["span_id"]
+
+    def test_process_backend_export_shows_worker_lanes(self):
+        # the acceptance path: a --backend processes run exports worker
+        # spans captured inside the workers, in their own pid lanes,
+        # nested under phase1 via the propagated trace context
+        import os
+
+        from repro.core import LotusConfig, build_lotus_graph
+        from repro.parallel.procpool import count_hhh_hhn_processes
+
+        graph = powerlaw_chung_lu(3000, 10.0, exponent=2.0, seed=6)
+        lotus = build_lotus_graph(graph, LotusConfig(hub_count=96))
+        with use_registry() as reg:
+            count_hhh_hhn_processes(lotus, workers=2)
+        trace = build_trace(reg.roots)
+        events = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+        worker_events = [e for e in events if e["name"] == "worker"]
+        worker_pids = {e["pid"] for e in worker_events}
+        assert len(worker_pids) == 2 and os.getpid() not in worker_pids
+        # chunk events inherit their worker's lane
+        assert {e["pid"] for e in events if e["name"] == "chunk"} == worker_pids
+        # metadata names each worker lane for the viewer
+        lane_names = {
+            e["pid"]: e["args"]["name"]
+            for e in trace["traceEvents"] if e.get("ph") == "M"
+        }
+        for pid in worker_pids:
+            assert f"pid {pid}" in lane_names[pid]
+        # and the round trip restores the worker spans under phase1
+        (root,) = spans_from_trace(trace)
+        phase = next(s for s in root.iter_spans()
+                     if s.name == "phase1-processes")
+        workers = [c for c in phase.children if c.name == "worker"]
+        assert len(workers) == 2
+        assert {w.trace_id for w in workers} == {root.trace_id}
 
 
 class TestDocuments:

@@ -288,3 +288,66 @@ class TestProcessBackend:
     def test_invalid_workers_rejected(self, dataset_lotus):
         with pytest.raises(ValueError):
             count_hhh_hhn_processes(dataset_lotus["LJGrp"], workers=0)
+
+
+class TestWorkerTelemetry:
+    """Cross-process trace propagation: worker spans are recorded inside
+    the worker processes and stitched under the parent ``phase1`` span."""
+
+    def test_worker_spans_recorded_in_worker_processes(self, dataset_lotus):
+        import os
+
+        with use_registry() as reg:
+            count_hhh_hhn_processes(dataset_lotus["Twtr10"], workers=3)
+        phase = reg.find_span("phase1-processes")
+        workers = phase.find_all("worker")
+        assert len(workers) == 3
+        # captured inside the workers: three distinct pids, none ours
+        pids = {w.attrs["pid"] for w in workers}
+        assert len(pids) == 3 and os.getpid() not in pids
+        for w in workers:
+            assert w.trace_id == phase.trace_id
+            assert w.parent_id == phase.span_id
+            # real worker-side timestamps, contained in the parent span
+            assert phase.start > 0 and w.start > 0
+            assert w.start >= phase.start - 1e-3
+            assert w.start + w.elapsed <= phase.start + phase.elapsed + 1e-3
+            chunks = w.find_all("chunk")
+            assert len(chunks) == w.attrs["executed"] > 0
+            for c in chunks:
+                assert c.start >= w.start - 1e-3
+                assert c.trace_id == phase.trace_id
+
+    def test_worker_wall_sums_within_phase_budget(self, dataset_lotus):
+        workers = 3
+        with use_registry() as reg:
+            count_hhh_hhn_processes(dataset_lotus["Twtr10"], workers=workers)
+        phase = reg.find_span("phase1-processes")
+        total = sum(w.elapsed for w in phase.find_all("worker"))
+        assert total > 0
+        # each worker's wall clock fits inside the phase: the sum cannot
+        # exceed workers x the phase wall time (plus stitch tolerance)
+        assert total <= workers * phase.elapsed * 1.05
+
+    @pytest.mark.parametrize("fault_worker", [0, 2])
+    def test_crash_still_flushes_partial_telemetry(
+        self, dataset_lotus, fault_worker
+    ):
+        before = _live_segments()
+        with use_registry() as reg:
+            with pytest.raises(WorkerCrashError) as excinfo:
+                count_hhh_hhn_processes(
+                    dataset_lotus["LJGrp"], workers=3, fault_worker=fault_worker
+                )
+        assert excinfo.value.exitcodes[fault_worker] == FAULT_EXIT_CODE
+        assert _live_segments() == before
+        # the survivors' telemetry must have been stitched before the raise
+        phase = reg.find_span("phase1-processes")
+        assert phase is not None
+        survivors = phase.find_all("worker")
+        assert len(survivors) == 2
+        assert {w.attrs["worker"] for w in survivors} == \
+            {0, 1, 2} - {fault_worker}
+        for w in survivors:
+            assert w.trace_id == phase.trace_id
+            assert w.attrs["executed"] > 0
