@@ -31,6 +31,7 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 from repro.obs.trajectory import (  # noqa: E402  (path bootstrap above)
     ALL_MACHINES,
     DEFAULT_SUITE,
+    PROFILER_DATASET,
     QUICK_SUITE,
     SCALING_DATASET,
     SERVE_DATASET,
@@ -72,6 +73,13 @@ def main(argv: list[str] | None = None) -> int:
                              f"(default dataset: {TELEMETRY_DATASET}); the "
                              "on/off wall-time ratio is gated against an "
                              "absolute ceiling (see repro.obs.regress)")
+    parser.add_argument("--profiler-overhead", nargs="?",
+                        const=PROFILER_DATASET, default=None,
+                        metavar="DATASET",
+                        help="also self-measure the sampling-profiler "
+                             f"overhead (default dataset: {PROFILER_DATASET}); "
+                             "the on/off ratio is gated against the tighter "
+                             "profiler ceiling (see repro.obs.regress)")
     parser.add_argument("--ledger", metavar="DIR", default=None,
                         help="run-ledger directory (default: runs/ at the "
                              "repo root)")
@@ -84,6 +92,7 @@ def main(argv: list[str] | None = None) -> int:
         suite=suite, machines=tuple(args.machines), generated=args.date,
         scaling=args.scaling, serve=args.serve,
         telemetry_overhead=args.telemetry_overhead,
+        profiler_overhead=args.profiler_overhead,
     )
     path = write_trajectory_artifact(artifact, args.out, baseline=args.baseline)
     elapsed = time.perf_counter() - started
@@ -105,6 +114,7 @@ def main(argv: list[str] | None = None) -> int:
                 "scaling": args.scaling,
                 "serve": args.serve,
                 "telemetry_overhead": args.telemetry_overhead,
+                "profiler_overhead": args.profiler_overhead,
             },
             meta={"artifact_path": str(path), "elapsed": elapsed},
             artifact=artifact,

@@ -592,6 +592,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         _fail("--metrics-interval must be > 0")
     if args.metrics_port is not None and not 0 <= args.metrics_port <= 65535:
         _fail("--metrics-port must be in [0, 65535]")
+    if args.profile_interval_ms <= 0:
+        _fail("--profile-interval-ms must be > 0")
+    if args.profile_window <= 0:
+        _fail("--profile-window must be > 0")
     if args.input and not os.path.exists(args.input):
         _fail(f"no such file: {args.input}")
     stream = open(args.input, encoding="utf-8") if args.input else sys.stdin
@@ -635,6 +639,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
         if args.events_output:
             telemetry = TelemetryBus((JsonlExporter(args.events_output),))
             set_bus(telemetry)
+        continuous = None
+        if args.profile:
+            from repro.obs.profiler import ContinuousProfiler
+
+            continuous = ContinuousProfiler(
+                registry,
+                interval_s=args.profile_interval_ms / 1e3,
+                window_s=args.profile_window,
+            ).start()
         try:
             engine.start()
             if args.pipeline:
@@ -643,6 +656,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 served = _serve_sequential(engine, stream, emit)
         finally:
             engine.stop()
+            if continuous is not None:
+                continuous.close()
+                sampled = registry.counter("profiler.samples").value
+                print(
+                    f"profiler: {int(sampled)} samples over "
+                    f"{continuous.windows_published} window(s)",
+                    file=sys.stderr,
+                )
             if telemetry is not None:
                 set_bus(None)
                 telemetry.close()
@@ -723,6 +744,106 @@ def _serve_pipelined(engine, stream, emit, window: int) -> int:
             flush()
     flush()
     return served
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs.profiler import SamplingProfiler
+    from repro.obs.profexport import (
+        render_top_table,
+        span_path_index,
+        write_collapsed,
+        write_speedscope,
+    )
+
+    if args.interval_ms <= 0:
+        _fail("--interval-ms must be > 0")
+    if args.top < 1:
+        _fail("--top must be >= 1")
+    if args.repeat < 1:
+        _fail("--repeat must be >= 1")
+    backend = args.backend
+    workers = args.workers
+    if (backend or workers) and args.algorithm != "lotus":
+        _fail(
+            f"--backend/--workers select the LOTUS phase-1 backend; "
+            f"not supported for --algorithm {args.algorithm}"
+        )
+    if workers is not None and workers < 1:
+        _fail("--workers must be >= 1")
+    graph = _load_graph(args)
+    label = args.dataset or os.path.basename(args.file)
+
+    def run():
+        if backend or workers:
+            config = LotusConfig(hub_count=args.hub_count) if args.hub_count else None
+            return count_triangles_lotus(
+                graph, config, backend=backend or "auto", workers=workers
+            )
+        return ALGORITHMS[args.algorithm](graph, args.hub_count)
+
+    with use_registry() as registry:
+        with SamplingProfiler(
+            interval_s=args.interval_ms / 1e3, profile_memory=args.memory
+        ) as profiler:
+            # the count:<label> root is what samples attribute to when the
+            # algorithm is between its own finer-grained spans
+            with registry.span(
+                "count:" + label, algorithm=args.algorithm, repeat=args.repeat
+            ) as root:
+                results = [run() for _ in range(args.repeat)]
+                root.set("triangles", int(results[0].triangles))
+        profile = profiler.profile
+        if len({r.triangles for r in results}) != 1:
+            _fail(f"profiled runs diverged: {[r.triangles for r in results]}")
+        span_index = span_path_index(registry.roots)
+
+    print(f"graph: {graph}")
+    print(f"algorithm: {results[0].algorithm}")
+    print(f"triangles: {results[0].triangles:,}")
+    if args.memory and root.attrs.get("mem_peak") is not None:
+        print(
+            f"memory: peak +{root.attrs['mem_peak']:,} bytes, "
+            f"delta {root.attrs['mem_delta']:+,} bytes over count:{label}"
+        )
+    print(render_top_table(profile, args.top), end="")
+    if args.folded:
+        write_collapsed(profile, args.folded, span_index)
+        print(f"wrote folded stacks to {args.folded}", file=sys.stderr)
+    if args.speedscope:
+        write_speedscope(
+            profile, args.speedscope, name=f"repro profile: {label}",
+            span_index=span_index,
+        )
+        print(f"wrote speedscope profile to {args.speedscope}", file=sys.stderr)
+    if args.ledger:
+        record = build_run_record(
+            registry,
+            command="profile",
+            config={
+                "command": "profile",
+                "algorithm": args.algorithm,
+                "dataset": args.dataset,
+                "file": args.file,
+                "hub_count": args.hub_count,
+                "backend": backend,
+                "workers": workers,
+                "interval_ms": args.interval_ms,
+                "repeat": args.repeat,
+                "memory": bool(args.memory),
+            },
+            graph=graph,
+            dataset_name=args.dataset,
+            meta={
+                "algorithm": results[0].algorithm,
+                "triangles": int(results[0].triangles),
+                "elapsed": float(results[0].elapsed),
+            },
+            profile=profile.summary(),
+        )
+        ledger = Ledger(args.ledger)
+        run_id = ledger.append(record)
+        print(f"recorded run {run_id} -> {ledger.path}", file=sys.stderr)
+    return 0
 
 
 def cmd_query(args: argparse.Namespace) -> int:
@@ -927,6 +1048,17 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="MS",
                    help="emit a slow_query event for requests whose latency "
                         "exceeds MS milliseconds (needs --events-output)")
+    p.add_argument("--profile", action="store_true",
+                   help="run the continuous sampling profiler: rolling-"
+                        "window profiles feed the profiler.* counters "
+                        "(scraped by --metrics-file/--metrics-port) and "
+                        "profile events on --events-output")
+    p.add_argument("--profile-window", type=float, default=5.0,
+                   metavar="SECONDS",
+                   help="profile window length for --profile (default: 5.0)")
+    p.add_argument("--profile-interval-ms", type=float, default=10.0,
+                   metavar="MS",
+                   help="sampling interval for --profile (default: 10)")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
@@ -944,6 +1076,39 @@ def build_parser() -> argparse.ArgumentParser:
                    help="attach a constant label to every sample "
                         "(repeatable)")
     p.set_defaults(fn=cmd_metrics)
+
+    p = sub.add_parser(
+        "profile",
+        help="run a count under the span-attributed sampling profiler",
+    )
+    _add_graph_args(p)
+    p.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="lotus")
+    p.add_argument("--hub-count", type=int, default=None)
+    p.add_argument("--backend", choices=("auto", "sequential", "threads", "processes"),
+                   default=None,
+                   help="LOTUS phase-1 backend; with processes, workers run "
+                        "their own samplers and their frames are stitched "
+                        "under the parent phase-1 span")
+    p.add_argument("--workers", type=int, default=None,
+                   help="thread/process pool size for --backend (default: 4)")
+    p.add_argument("--interval-ms", type=float, default=10.0, metavar="MS",
+                   help="sampling interval in milliseconds (default: 10)")
+    p.add_argument("--repeat", type=int, default=1,
+                   help="profiled repetitions of the count (default: 1; "
+                        "raise it to accumulate samples on small graphs)")
+    p.add_argument("--memory", action="store_true",
+                   help="also account tracemalloc memory per span "
+                        "(mem_delta/mem_peak span attrs; slows the run)")
+    p.add_argument("--top", type=int, default=10, metavar="N",
+                   help="rows in the hot-frame table (default: 10)")
+    p.add_argument("--folded", metavar="FILE",
+                   help="write collapsed stacks (flamegraph.pl input) here")
+    p.add_argument("--speedscope", metavar="FILE",
+                   help="write a speedscope JSON profile here")
+    p.add_argument("--ledger", metavar="DIR", default=None,
+                   help="also append a run record (with a profile digest) "
+                        "to this run-ledger directory")
+    p.set_defaults(fn=cmd_profile)
 
     p = sub.add_parser(
         "query", help="one-shot query through the engine (warm cache first)"

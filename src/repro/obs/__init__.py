@@ -33,7 +33,29 @@ from repro.obs.registry import (
     set_registry,
     use_registry,
 )
-from repro.obs.spans import NULL_SPAN, Span, clock
+from repro.obs.spans import (
+    NULL_SPAN,
+    Span,
+    add_span_observer,
+    clock,
+    remove_span_observer,
+    thread_spans,
+)
+from repro.obs.profiler import (
+    ContinuousProfiler,
+    MemoryAccountant,
+    Profile,
+    SamplingProfiler,
+    get_profiler,
+)
+from repro.obs.profexport import (
+    render_top_table,
+    span_path_index,
+    to_collapsed,
+    to_speedscope,
+    write_collapsed,
+    write_speedscope,
+)
 from repro.obs.telemetry import (
     NULL_BUS,
     Exporter,
@@ -99,6 +121,20 @@ __all__ = [
     "Span",
     "NULL_SPAN",
     "clock",
+    "add_span_observer",
+    "remove_span_observer",
+    "thread_spans",
+    "ContinuousProfiler",
+    "MemoryAccountant",
+    "Profile",
+    "SamplingProfiler",
+    "get_profiler",
+    "render_top_table",
+    "span_path_index",
+    "to_collapsed",
+    "to_speedscope",
+    "write_collapsed",
+    "write_speedscope",
     "NULL_BUS",
     "Exporter",
     "JsonlExporter",

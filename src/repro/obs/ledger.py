@@ -182,13 +182,16 @@ def build_run_record(
     meta: dict[str, Any] | None = None,
     artifact: dict[str, Any] | None = None,
     machine_model: str | None = None,
+    profile: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Assemble one provenance-stamped run record (schema version 1).
 
     ``registry`` supplies the metric snapshot and span trees (``None``
     for runs that were not observed); ``artifact`` optionally embeds a
     full bench-trajectory artifact so the regression gate can use the
-    record as a baseline.
+    record as a baseline; ``profile`` embeds a sampling-profiler digest
+    (:meth:`repro.obs.profiler.Profile.summary` or ``to_dict``) when the
+    run was profiled.
     """
     record: dict[str, Any] = {
         "schema": RUN_SCHEMA_VERSION,
@@ -206,6 +209,8 @@ def build_run_record(
     }
     if artifact is not None:
         record["artifact"] = artifact
+    if profile is not None:
+        record["profile"] = dict(profile)
     stamp = record["created"].replace("-", "").replace(":", "")
     content = hashlib.sha256(canonical_json(record).encode()).hexdigest()
     record["run_id"] = f"r{stamp}-{content[:8]}"
@@ -413,8 +418,13 @@ def ledger_metric_kind(key: str) -> str:
     if key.endswith(".triangles"):
         return "exact"
     if key.endswith(".overhead_ratio"):
-        # telemetry self-measurement: gated against an absolute ceiling
+        # telemetry/profiler self-measurement: gated against an absolute
+        # ceiling (profiler.* keys get their own, tighter default)
         return "ceiling"
+    if ".profiler." in key or key.startswith("profiler."):
+        # sample/drop totals scale with wall time and machine load;
+        # trend, never gate (the overhead_ratio above is the gate)
+        return "timing"
     if ".sched." in key:
         # scheduler-dependent metrics (tile/chunk/steal counts, pool waits,
         # shm sizes) vary with worker count and backend by design; they are

@@ -15,7 +15,9 @@ when any tracked metric *regresses* beyond its tolerance:
   (:func:`repro.obs.trajectory.build_telemetry_overhead_measurements`)
   must stay under an *absolute* ceiling (``--overhead-ceiling``,
   default 1.25 to absorb shared-CI noise; the design target is <= 1.05
-  on EU15).  Unlike every other kind, a ceiling metric is gated even
+  on EU15).  ``profiler.*`` ratios (the sampling profiler measuring
+  itself) get a tighter ceiling (``--profiler-ceiling``, default
+  1.10).  Unlike every other kind, a ceiling metric is gated even
   when it only appears in the candidate — instrumentation that slows
   the pipeline down must not pass just because the baseline predates
   the measurement;
@@ -48,6 +50,7 @@ __all__ = [
     "DEFAULT_REL_TOL",
     "DEFAULT_SHARE_TOL",
     "DEFAULT_OVERHEAD_CEILING",
+    "DEFAULT_PROFILER_CEILING",
     "MetricDelta",
     "artifact_from_record",
     "load_artifact",
@@ -64,6 +67,10 @@ DEFAULT_SHARE_TOL = 0.02
 # (<= 5% with every exporter live, docs/observability.md); the gate adds
 # headroom for noisy shared CI runners.
 DEFAULT_OVERHEAD_CEILING = 1.25
+# Absolute gate for profiler.*.overhead_ratio: the sampling profiler's
+# whole point is negligible cost, so its ceiling is deliberately tighter
+# than the telemetry one — <= 10% at the default 10 ms interval.
+DEFAULT_PROFILER_CEILING = 1.10
 
 
 @dataclass(frozen=True)
@@ -134,6 +141,7 @@ def compare_artifacts(
     share_tol: float = DEFAULT_SHARE_TOL,
     kind_fn: Callable[[str], str] = _metric_kind,
     overhead_ceiling: float = DEFAULT_OVERHEAD_CEILING,
+    profiler_ceiling: float = DEFAULT_PROFILER_CEILING,
 ) -> list[MetricDelta]:
     """Per-metric comparison; see the module docstring for the rules.
 
@@ -142,9 +150,14 @@ def compare_artifacts(
     the trajectory map, and the run ledger passes its own
     (:func:`repro.obs.ledger.ledger_metric_kind`).  ``timing`` metrics
     are reported but never regress — wall-clock is not gated.
-    ``ceiling`` metrics gate against the absolute ``overhead_ceiling``
-    even when they are candidate-only.
+    ``ceiling`` metrics gate against an absolute ceiling even when they
+    are candidate-only: ``overhead_ceiling`` for telemetry ratios,
+    ``profiler_ceiling`` (tighter) for ``profiler.*`` keys.
     """
+
+    def ceiling_for(key: str) -> float:
+        return profiler_ceiling if key.startswith("profiler.") else overhead_ceiling
+
     base_metrics: dict[str, float] = baseline["metrics"]
     cand_metrics: dict[str, float] = candidate["metrics"]
     deltas: list[MetricDelta] = []
@@ -168,9 +181,10 @@ def compare_artifacts(
             regressed = False
             reason = ""
         elif kind == "ceiling":
-            regressed = cand_value > overhead_ceiling
+            ceiling = ceiling_for(key)
+            regressed = cand_value > ceiling
             reason = (
-                f"{cand_value:.4f} > absolute ceiling {overhead_ceiling}"
+                f"{cand_value:.4f} > absolute ceiling {ceiling}"
                 if regressed
                 else ""
             )
@@ -197,9 +211,10 @@ def compare_artifacts(
             if kind_fn(key) == "ceiling":
                 # absolute gates apply even without a baseline value:
                 # new instrumentation must prove its own overhead
-                regressed = cand_value > overhead_ceiling
+                ceiling = ceiling_for(key)
+                regressed = cand_value > ceiling
                 reason = (
-                    f"{cand_value:.4f} > absolute ceiling {overhead_ceiling}"
+                    f"{cand_value:.4f} > absolute ceiling {ceiling}"
                     if regressed
                     else ""
                 )
@@ -281,6 +296,10 @@ def main(argv: list[str] | None = None) -> int:
                         default=DEFAULT_OVERHEAD_CEILING,
                         help="absolute ceiling for telemetry overhead "
                              "ratios (default: %(default)s)")
+    parser.add_argument("--profiler-ceiling", type=float,
+                        default=DEFAULT_PROFILER_CEILING,
+                        help="absolute ceiling for profiler.* overhead "
+                             "ratios (default: %(default)s)")
     parser.add_argument("-v", "--verbose", action="store_true",
                         help="also list non-regressed metrics")
     args = parser.parse_args(argv)
@@ -321,7 +340,8 @@ def main(argv: list[str] | None = None) -> int:
         kind_fn = ledger_metric_kind
     deltas = compare_artifacts(baseline, candidate, rel_tol=args.rel_tol,
                                share_tol=args.share_tol, kind_fn=kind_fn,
-                               overhead_ceiling=args.overhead_ceiling)
+                               overhead_ceiling=args.overhead_ceiling,
+                               profiler_ceiling=args.profiler_ceiling)
     print(f"baseline:  {baseline_desc} (generated {baseline.get('generated')})")
     print(f"candidate: {candidate_path} (generated {candidate.get('generated')})")
     print(format_deltas(deltas, verbose=args.verbose))

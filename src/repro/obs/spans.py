@@ -27,9 +27,18 @@ this module only defines the data model and the context manager.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Iterator
 
-__all__ = ["Span", "SpanContext", "NULL_SPAN", "clock"]
+__all__ = [
+    "Span",
+    "SpanContext",
+    "NULL_SPAN",
+    "clock",
+    "thread_spans",
+    "add_span_observer",
+    "remove_span_observer",
+]
 
 # The single wall-clock source of the repository lives in
 # repro.util.timer; spans delegate to it so span durations and
@@ -102,8 +111,15 @@ class Span:
         )
 
     def self_time(self) -> float:
-        """Elapsed time not covered by direct children (>= 0 up to jitter)."""
-        return self.elapsed - sum(c.elapsed for c in self.children)
+        """Elapsed time not covered by direct children, clamped at 0.
+
+        Children can legitimately sum past the parent's elapsed: stitched
+        worker spans (:func:`repro.obs.telemetry.stitch_worker_payloads`)
+        ran *concurrently* on their own processes' monotonic clocks, so a
+        ``phase1-processes`` span with 4 workers carries ~4x its own wall
+        time in children.  A negative "self time" is meaningless — clamp.
+        """
+        return max(0.0, self.elapsed - sum(c.elapsed for c in self.children))
 
     # -- (de)serialisation -------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
@@ -162,6 +178,86 @@ class _NullSpan(Span):
 NULL_SPAN = _NullSpan()
 
 
+# ---------------------------------------------------------------------------
+# cross-thread span registry + span observers
+# ---------------------------------------------------------------------------
+#
+# The per-registry span stack is thread-local, which is exactly what makes
+# it invisible to *other* threads — and the sampling profiler
+# (:mod:`repro.obs.profiler`) runs on its own thread and must answer
+# "which span is open on thread T right now?" for every T returned by
+# ``sys._current_frames()``.  This module therefore keeps a process-wide
+# map of thread ident -> stack of open spans, maintained by
+# :class:`SpanContext` on enter/exit.  Reads happen lock-free on a
+# snapshot (CPython dict/list ops are atomic enough for a sampler that
+# tolerates one-interval staleness); the two writes per span are a dict
+# lookup and a list append/pop, far below span-open cost.
+
+_thread_spans: dict[int, list["Span"]] = {}
+
+# Observers are notified on every real span open/close (memory
+# accounting hooks its tracemalloc snapshots in here).  The common case
+# is "no observers", paying one falsy check per span boundary.
+_span_observers: list[Any] = []
+
+
+def thread_spans() -> dict[int, "Span"]:
+    """Snapshot of the *innermost* open span per thread ident.
+
+    Taken by the sampling profiler to attribute stack samples; safe to
+    call from any thread.  Threads with no open span are absent.
+    """
+    out: dict[int, Span] = {}
+    for ident, stack in list(_thread_spans.items()):
+        if stack:
+            out[ident] = stack[-1]
+    return out
+
+
+def add_span_observer(observer: Any) -> Any:
+    """Register an object with ``span_opened(span)`` / ``span_closed(span)``
+    callbacks invoked on every enabled span boundary; returns it."""
+    _span_observers.append(observer)
+    return observer
+
+
+def remove_span_observer(observer: Any) -> None:
+    if observer in _span_observers:
+        _span_observers.remove(observer)
+
+
+def _note_span_opened(span: "Span") -> None:
+    ident = threading.get_ident()
+    stack = _thread_spans.get(ident)
+    if stack is None:
+        stack = _thread_spans[ident] = []
+    stack.append(span)
+    for observer in list(_span_observers):
+        try:
+            observer.span_opened(span)
+        except Exception:
+            pass  # observers must never break the pipeline they observe
+
+
+def _note_span_closed(span: "Span") -> None:
+    ident = threading.get_ident()
+    stack = _thread_spans.get(ident)
+    if stack:
+        # normally the top of the stack; scan defensively in case inner
+        # contexts were abandoned (mirrors MetricsRegistry._pop_span)
+        for idx in range(len(stack) - 1, -1, -1):
+            if stack[idx] is span:
+                del stack[idx:]
+                break
+        if not stack:
+            _thread_spans.pop(ident, None)
+    for observer in list(_span_observers):
+        try:
+            observer.span_closed(span)
+        except Exception:
+            pass
+
+
 class SpanContext:
     """Context manager that opens a :class:`Span` inside a registry.
 
@@ -200,6 +296,7 @@ class SpanContext:
         if span.trace_id is None:
             span.trace_id = new_id()
         self._registry._push_span(span)
+        _note_span_opened(span)
         self._start = span.start = clock()
         bus = get_bus()
         if bus.enabled:
@@ -218,6 +315,7 @@ class SpanContext:
         # always unwinds and no open span leaks into the next run's tree
         span = self._span
         span.elapsed = clock() - self._start
+        _note_span_closed(span)
         self._registry._pop_span(span)
         self._registry._attach_span(span, self._parent)
         bus = get_bus()

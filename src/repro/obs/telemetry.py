@@ -485,11 +485,18 @@ def worker_telemetry_session(
         set_registry(None)
 
 
-def worker_payload(registry: Any, worker: int, pid: int) -> dict[str, Any]:
+def worker_payload(
+    registry: Any, worker: int, pid: int, profile: Any = None
+) -> dict[str, Any]:
     """Serialise a worker registry for the telemetry channel: its span
-    trees (with real worker-side timestamps) plus metric deltas."""
+    trees (with real worker-side timestamps) plus metric deltas.
+
+    ``profile`` (a :class:`~repro.obs.profiler.Profile` or its
+    ``to_dict()`` form) rides along when the worker sampled itself; the
+    parent folds it into its own profiler during stitching.
+    """
     snap = registry.snapshot()
-    return {
+    payload = {
         "worker": int(worker),
         "pid": int(pid),
         "spans": [root.to_dict() for root in registry.roots],
@@ -497,6 +504,11 @@ def worker_payload(registry: Any, worker: int, pid: int) -> dict[str, Any]:
         "gauges": snap["gauges"],
         "histograms": snap["histograms"],
     }
+    if profile is not None:
+        payload["profile"] = (
+            profile if isinstance(profile, dict) else profile.to_dict()
+        )
+    return payload
 
 
 def stitch_worker_payloads(
@@ -536,4 +548,14 @@ def stitch_worker_payloads(
                 hname, buckets=tuple(buckets) if buckets else None
             )
             hist.merge_snapshot(snap)
+        prof_data = payload.get("profile")
+        if prof_data:
+            # fold the worker's stack samples into the parent's live
+            # profiler; the worker-side span ids in the samples resolve
+            # through the tree just stitched above
+            from repro.obs.profiler import get_profiler
+
+            profiler = get_profiler()
+            if profiler is not None:
+                profiler.merge_dict(prof_data)
     return stitched

@@ -37,9 +37,12 @@ __all__ = [
     "SERVE_REQUESTS",
     "TELEMETRY_DATASET",
     "TELEMETRY_REPEATS",
+    "PROFILER_DATASET",
+    "PROFILER_REPEATS",
     "build_scaling_measurements",
     "build_serve_measurements",
     "build_telemetry_overhead_measurements",
+    "build_profiler_overhead_measurements",
     "build_trajectory_artifact",
     "write_trajectory_artifact",
 ]
@@ -80,6 +83,14 @@ SERVE_REQUESTS = 12
 # target is <= 1.05 on EU15.
 TELEMETRY_DATASET = "EU15"
 TELEMETRY_REPEATS = 3
+
+# Pinned profiler-overhead run: the same ratio methodology as the
+# telemetry gate, but the "on" side runs the sampling profiler
+# (:class:`repro.obs.profiler.SamplingProfiler`) at its default 10 ms
+# interval over an observed count.  Gated against the tighter
+# :data:`repro.obs.regress.DEFAULT_PROFILER_CEILING` (<= 1.10).
+PROFILER_DATASET = "EU15"
+PROFILER_REPEATS = 3
 
 
 def build_scaling_measurements(
@@ -264,6 +275,71 @@ def build_telemetry_overhead_measurements(
     return metrics, info
 
 
+def build_profiler_overhead_measurements(
+    dataset: str = PROFILER_DATASET,
+    repeats: int = PROFILER_REPEATS,
+    interval_ms: float = 10.0,
+) -> tuple[dict[str, float], dict[str, Any]]:
+    """Self-measured sampling-profiler overhead on an observed count.
+
+    Both sides run under an enabled registry (span attribution is the
+    profiler's whole point, so the registry's own cost — already gated by
+    the telemetry measurement — is held constant); the "on" side adds a
+    :class:`~repro.obs.profiler.SamplingProfiler` at ``interval_ms``.
+    Best-of-``repeats`` on each side; the single gated metric is
+    ``profiler.<dataset>.overhead_ratio`` (ceiling kind, tighter
+    :data:`repro.obs.regress.DEFAULT_PROFILER_CEILING`).
+    """
+    import time
+
+    from repro.core import count_triangles_lotus
+    from repro.graph import load_dataset
+    from repro.obs import use_registry
+    from repro.obs.profiler import SamplingProfiler
+
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    if interval_ms <= 0:
+        raise ValueError("interval_ms must be positive")
+    graph = load_dataset(dataset)
+    expected = count_triangles_lotus(graph).triangles  # warm-up + canary
+
+    def best_of(run) -> float:
+        times = []
+        for _ in range(repeats):
+            started = time.perf_counter()
+            result = run()
+            times.append(time.perf_counter() - started)
+            if result.triangles != expected:  # pragma: no cover - canary
+                raise AssertionError(
+                    f"profiler bench diverged on {dataset}: "
+                    f"{result.triangles} != {expected}"
+                )
+        return min(times)
+
+    with use_registry():
+        off_s = best_of(lambda: count_triangles_lotus(graph))
+    samples = dropped = 0
+    with use_registry():
+        with SamplingProfiler(interval_s=interval_ms / 1000.0) as profiler:
+            on_s = best_of(lambda: count_triangles_lotus(graph))
+        samples = profiler.profile.samples
+        dropped = profiler.profile.dropped
+    if samples <= 0:  # pragma: no cover - canary
+        raise AssertionError("profiler bench recorded zero samples")
+    ratio = on_s / off_s if off_s > 0 else 1.0
+    metrics = {f"profiler.{dataset}.overhead_ratio": round(ratio, 4)}
+    info: dict[str, Any] = {
+        f"profiler.{dataset}.off_seconds": round(off_s, 4),
+        f"profiler.{dataset}.on_seconds": round(on_s, 4),
+        f"profiler.{dataset}.repeats": repeats,
+        f"profiler.{dataset}.interval_ms": interval_ms,
+        f"profiler.{dataset}.samples": samples,
+        f"profiler.{dataset}.dropped": dropped,
+    }
+    return metrics, info
+
+
 def build_trajectory_artifact(
     suite: Iterable[str] = DEFAULT_SUITE,
     machines: Iterable[str] = ALL_MACHINES,
@@ -271,6 +347,7 @@ def build_trajectory_artifact(
     scaling: str | None = None,
     serve: str | None = None,
     telemetry_overhead: str | None = None,
+    profiler_overhead: str | None = None,
 ) -> dict[str, Any]:
     """Measure the pinned suite and return the artifact as a plain dict.
 
@@ -345,6 +422,12 @@ def build_trajectory_artifact(
         )
         metrics.update(tel_metrics)
         info.update(tel_info)
+    if profiler_overhead:
+        prof_metrics, prof_info = build_profiler_overhead_measurements(
+            profiler_overhead
+        )
+        metrics.update(prof_metrics)
+        info.update(prof_info)
     return {
         "schema": TRAJECTORY_SCHEMA_VERSION,
         "kind": "bench-trajectory",
@@ -354,6 +437,7 @@ def build_trajectory_artifact(
         "scaling": scaling,
         "serve": serve,
         "telemetry_overhead": telemetry_overhead,
+        "profiler_overhead": profiler_overhead,
         "metrics": metrics,
         "info": info,
     }

@@ -128,17 +128,35 @@ def _worker_main(
     if trace_wire is not None:
         from repro.obs.telemetry import worker_payload, worker_telemetry_session
 
-        with worker_telemetry_session(
-            trace_wire, "worker", worker=worker_id, pid=os.getpid()
-        ) as (wreg, wspan):
-            hhh, hhn, executed, stolen = _drain_deques(
-                worker_id, lotus, sched, arrs, wreg, wspan
-            )
-            wspan.set("executed", executed)
-            wspan.set("stolen", stolen)
-            wspan.set("hits", hhh + hhn)
-            wspan.set("wall_s", time.perf_counter() - started)
-        telemetry_queue.put(worker_payload(wreg, worker_id, os.getpid()))
+        # the parent's profiler asks workers to sample themselves by
+        # adding this key to the trace wire (TraceContext ignores it)
+        profile_interval_ms = trace_wire.get("profile_interval_ms")
+        wprofiler = None
+        if profile_interval_ms:
+            from repro.obs.profiler import SamplingProfiler
+
+            # activate=False: under fork the child inherits the parent's
+            # active-profiler global (its thread does not survive), so
+            # process-wide activation here would refuse to start
+            wprofiler = SamplingProfiler(
+                interval_s=float(profile_interval_ms) / 1000.0, activate=False
+            ).start()
+        try:
+            with worker_telemetry_session(
+                trace_wire, "worker", worker=worker_id, pid=os.getpid()
+            ) as (wreg, wspan):
+                hhh, hhn, executed, stolen = _drain_deques(
+                    worker_id, lotus, sched, arrs, wreg, wspan
+                )
+                wspan.set("executed", executed)
+                wspan.set("stolen", stolen)
+                wspan.set("hits", hhh + hhn)
+                wspan.set("wall_s", time.perf_counter() - started)
+        finally:
+            wprofile = wprofiler.stop() if wprofiler is not None else None
+        telemetry_queue.put(
+            worker_payload(wreg, worker_id, os.getpid(), profile=wprofile)
+        )
     else:
         from repro.obs.registry import NULL_REGISTRY
 
@@ -269,6 +287,14 @@ def count_hhh_hhn_processes(
 
         trace_ctx = TraceContext.from_span(phase_span)
         trace_wire = trace_ctx.to_wire() if trace_ctx is not None else None
+        if trace_wire is not None:
+            from repro.obs.profiler import get_profiler
+
+            profiler = get_profiler()
+            if profiler is not None:
+                # ask workers to sample themselves at the parent's rate;
+                # their profiles fold back in during stitching
+                trace_wire["profile_interval_ms"] = profiler.interval_s * 1000.0
 
         locks = [ctx.Lock() for _ in range(workers)]
         result_queue = ctx.Queue()

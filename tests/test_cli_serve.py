@@ -237,16 +237,40 @@ class TestServeLiveTelemetry:
         capsys.readouterr()
         assert get_bus() is NULL_BUS
 
+    def test_profile_mode_emits_profile_events(
+        self, tmp_path, edgelist_file, capsys
+    ):
+        events_path = tmp_path / "events.jsonl"
+        _serve(
+            tmp_path,
+            [json.dumps({"file": edgelist_file, "id": f"q{i}"})
+             for i in range(2)],
+            "--events-output", str(events_path),
+            "--profile", "--profile-interval-ms", "1",
+        )
+        err = capsys.readouterr().err
+        assert "profiler:" in err  # summary line on shutdown
+        events = [json.loads(l) for l in events_path.read_text().splitlines()]
+        profiles = [e for e in events if e["event"] == "profile"]
+        assert profiles  # close() always drains a final window
+        for e in profiles:
+            assert e["samples"] >= 0 and e["dropped"] >= 0
+            assert isinstance(e["top"], list)
+
     @pytest.mark.parametrize(
         "flag,value",
         [("--slow-query-ms", "0"), ("--slow-query-ms", "-5"),
-         ("--metrics-interval", "0"), ("--metrics-port", "70000")],
+         ("--metrics-interval", "0"), ("--metrics-interval", "-1"),
+         ("--metrics-port", "70000"),
+         ("--profile-interval-ms", "0"), ("--profile-interval-ms", "-2"),
+         ("--profile-window", "0"), ("--profile-window", "-1")],
     )
     def test_bad_telemetry_flag_exits_2(self, flag, value, capsys):
         with pytest.raises(SystemExit) as exc:
             main(["serve", flag, value])
         assert exc.value.code == 2
-        assert capsys.readouterr().err.startswith("error:")
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and len(err.strip().splitlines()) == 1
 
 
 # golden Prometheus exposition — the exact text a scraper sees; update

@@ -70,7 +70,7 @@ class TestSetAndTest:
             max_size=40,
         )
     )
-    @settings(max_examples=50)
+    @settings(max_examples=50, deadline=None)
     def test_matches_python_set(self, pairs):
         ba = TriangularBitArray(64)
         reference = set()

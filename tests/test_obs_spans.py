@@ -308,3 +308,47 @@ class TestSpanExceptionSafety:
             with use_registry():
                 raise RuntimeError
         assert get_registry() is NULL_REGISTRY
+
+
+class TestSelfTimeClamp:
+    """Stitched worker spans ran concurrently on their own processes'
+    clocks, so a parent's direct children can legitimately sum past its
+    own elapsed — ``self_time`` must clamp at 0, never go negative."""
+
+    def test_concurrent_children_exceeding_parent_clamp_to_zero(self):
+        # the shape stitch_worker_payloads produces: a 1s phase span with
+        # four concurrent 0.9s worker children (3.6s of child time)
+        parent = Span("phase1-processes")
+        parent.elapsed = 1.0
+        for w in range(4):
+            child = Span("worker", {"worker": w})
+            child.elapsed = 0.9
+            parent.children.append(child)
+        assert parent.self_time() == 0.0
+
+    def test_sequential_children_keep_real_self_time(self):
+        parent = Span("phase")
+        parent.elapsed = 1.0
+        for elapsed in (0.25, 0.25):
+            child = Span("step")
+            child.elapsed = elapsed
+            parent.children.append(child)
+        assert parent.self_time() == pytest.approx(0.5)
+
+    def test_stitched_tree_reports_nonnegative_self_time_everywhere(self):
+        from repro.obs.telemetry import worker_payload, stitch_worker_payloads
+
+        reg = MetricsRegistry()
+        worker_reg = MetricsRegistry()
+        with worker_reg.span("worker") as w:
+            pass
+        w.elapsed = 5.0  # simulate a long concurrent worker
+        payloads = [worker_payload(worker_reg, 0, 1234)] * 3
+        with use_registry(reg):
+            with reg.span("phase1") as phase:
+                stitch_worker_payloads(reg, phase, payloads)
+        (root,) = reg.roots
+        assert len(root.children) == 3
+        for span in root.iter_spans():
+            assert span.self_time() >= 0.0
+        assert root.self_time() == 0.0  # 15s of children in a ~0s parent
