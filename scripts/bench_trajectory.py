@@ -31,6 +31,7 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 from repro.obs.trajectory import (  # noqa: E402  (path bootstrap above)
     ALL_MACHINES,
     DEFAULT_SUITE,
+    DYNAMIC_DATASET,
     PROFILER_DATASET,
     QUICK_SUITE,
     SCALING_DATASET,
@@ -80,6 +81,12 @@ def main(argv: list[str] | None = None) -> int:
                              f"overhead (default dataset: {PROFILER_DATASET}); "
                              "the on/off ratio is gated against the tighter "
                              "profiler ceiling (see repro.obs.regress)")
+    parser.add_argument("--dynamic", nargs="?", const=DYNAMIC_DATASET,
+                        default=None, metavar="DATASET",
+                        help="also replay the pinned dynamic update stream "
+                             f"(default dataset: {DYNAMIC_DATASET}); the "
+                             "amortised update-vs-recount speedup is gated "
+                             "as a floor and the final count exactly")
     parser.add_argument("--ledger", metavar="DIR", default=None,
                         help="run-ledger directory (default: runs/ at the "
                              "repo root)")
@@ -93,6 +100,7 @@ def main(argv: list[str] | None = None) -> int:
         scaling=args.scaling, serve=args.serve,
         telemetry_overhead=args.telemetry_overhead,
         profiler_overhead=args.profiler_overhead,
+        dynamic=args.dynamic,
     )
     path = write_trajectory_artifact(artifact, args.out, baseline=args.baseline)
     elapsed = time.perf_counter() - started
@@ -115,6 +123,7 @@ def main(argv: list[str] | None = None) -> int:
                 "serve": args.serve,
                 "telemetry_overhead": args.telemetry_overhead,
                 "profiler_overhead": args.profiler_overhead,
+                "dynamic": args.dynamic,
             },
             meta={"artifact_path": str(path), "elapsed": elapsed},
             artifact=artifact,

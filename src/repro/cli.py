@@ -26,7 +26,15 @@ Commands:
   one request object per input line, one stable-field-order response
   per output line (see ``docs/serving.md``);
 * ``query``       — one-shot client: runs one query through the engine
-  (warming the cache first by default) and prints the JSON result.
+  (warming the cache first by default) and prints the JSON result;
+* ``replay``      — stream a timestamped edge file through a
+  :class:`~repro.dynamic.graph.DynamicGraph`, reporting the triangle-
+  count trajectory (exact incremental maintenance; see
+  ``docs/dynamic.md``).
+
+A ``serve`` session also accepts dynamic-graph update requests
+(``{"op": "insert"/"delete"/"compact", "edges": [[u, v], ...]}``);
+counts against an updated source are served from versioned snapshots.
 
 Input errors (missing files, malformed artifacts, unresolvable run
 references) print a one-line ``error: ...`` and exit with status 2.
@@ -510,7 +518,7 @@ def cmd_metrics(args: argparse.Namespace) -> int:
 # minus in-process-only `graph`)
 _SERVE_FIELDS = (
     "id", "dataset", "file", "op", "algorithm", "hub_count",
-    "backend", "workers", "timeout",
+    "backend", "workers", "timeout", "edges",
 )
 
 
@@ -846,6 +854,96 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_replay(args: argparse.Namespace) -> int:
+    from repro.dynamic import DynamicGraph, parse_stream, replay_stream
+    from repro.dynamic.replay import print_trajectory
+    from repro.tc.forward import count_triangles_forward
+    from repro.tc.intersect import INTERSECT_KERNELS
+
+    if args.batch < 1:
+        _fail("--batch must be >= 1")
+    if args.compact_every is not None and args.compact_every < 1:
+        _fail("--compact-every must be >= 1")
+    if args.kernel not in INTERSECT_KERNELS:
+        _fail(f"unknown kernel {args.kernel!r}; one of {sorted(INTERSECT_KERNELS)}")
+    if args.metrics_interval <= 0:
+        _fail("--metrics-interval must be > 0")
+    graph = _load_graph(args)
+    if not os.path.exists(args.stream):
+        _fail(f"no such file: {args.stream}")
+    try:
+        ops = parse_stream(args.stream)
+    except ValueError as exc:
+        _fail(f"cannot parse {args.stream}: {exc}")
+    if not ops:
+        _fail(f"{args.stream} holds no update ops")
+
+    with use_registry() as registry:
+        exposer = None
+        if args.metrics_file:
+            from repro.obs.telemetry import PrometheusFileExporter
+
+            exposer = PrometheusFileExporter(
+                registry, args.metrics_file, interval_s=args.metrics_interval
+            )
+        try:
+            dyn = DynamicGraph(
+                graph,
+                kernel=args.kernel,
+                track_hubs=args.track_hubs,
+                auto_compact_fraction=None if args.compact_every else 0.25,
+            )
+            base_triangles = dyn.triangles
+            on_batch = (
+                (lambda e: print_trajectory(e, sys.stderr))
+                if args.progress
+                else None
+            )
+            report = replay_stream(
+                dyn,
+                ops,
+                batch=args.batch,
+                compact_every=args.compact_every,
+                on_batch=on_batch,
+            )
+        finally:
+            if exposer is not None:
+                exposer.close()  # final snapshot lands in --metrics-file
+
+    print(f"graph: {graph}")
+    print(f"stream: {args.stream} ({report.ops} ops)")
+    print(
+        f"applied {report.applied} / rejected {report.rejected} over "
+        f"{report.batches} batches ({report.compactions} compactions)"
+    )
+    print(f"triangles: {base_triangles:,} -> {report.final_triangles:,} "
+          f"(v{report.final_version})")
+    print(
+        f"elapsed: {report.elapsed_seconds:.3f}s "
+        f"({report.per_update_seconds * 1e6:.1f}us per applied update)"
+    )
+    if args.verify:
+        recount = int(count_triangles_forward(dyn.snapshot().graph).triangles)
+        if recount != dyn.triangles:
+            _fail(
+                f"incremental count {dyn.triangles:,} != full recount "
+                f"{recount:,} after replay"
+            )
+        print(f"verified: incremental count equals full recount ({recount:,})")
+        if args.track_hubs:
+            dyn.hubs.validate()
+            print(
+                f"verified: H2H patched exactly "
+                f"({dyn.hubs.rethresholds} rethreshold(s))"
+            )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report.to_json_dict(), fh, indent=2)
+            fh.write("\n")
+        print(f"wrote replay report to {args.json}", file=sys.stderr)
+    return 0
+
+
 def cmd_query(args: argparse.Namespace) -> int:
     from repro.serve import QueryEngine, QueryRequest, StructureCache
 
@@ -1109,6 +1207,42 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also append a run record (with a profile digest) "
                         "to this run-ledger directory")
     p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser(
+        "replay",
+        help="stream an edge-update file through a dynamic graph and "
+             "report the triangle-count trajectory",
+    )
+    _add_graph_args(p)
+    p.add_argument("--stream", required=True, metavar="FILE",
+                   help="update stream: `u v`, `ts u v`, `op u v` or "
+                        "`ts op u v` per line (op: +/-/insert/delete)")
+    p.add_argument("--batch", type=int, default=64,
+                   help="updates applied per batch (default: 64)")
+    p.add_argument("--compact-every", type=int, default=None, metavar="N",
+                   help="fold overlays into the base CSR every N batches "
+                        "(default: automatic, at 25%% overlay growth)")
+    p.add_argument("--kernel", default="binary",
+                   help="intersect kernel for per-edge deltas "
+                        "(default: binary)")
+    p.add_argument("--track-hubs", action="store_true",
+                   help="incrementally patch the LOTUS hub set + H2H bit "
+                        "array during the replay")
+    p.add_argument("--verify", action="store_true",
+                   help="recount the final graph from scratch and fail "
+                        "unless it matches the incremental count")
+    p.add_argument("--progress", action="store_true",
+                   help="print one trajectory line per batch to stderr")
+    p.add_argument("--json", metavar="FILE",
+                   help="write the full replay report (trajectory "
+                        "included) here as JSON")
+    p.add_argument("--metrics-file", metavar="FILE",
+                   help="continuously export live dynamic.* metrics here "
+                        "in Prometheus text format (atomic replace)")
+    p.add_argument("--metrics-interval", type=float, default=1.0,
+                   metavar="SECONDS",
+                   help="--metrics-file refresh interval (default: 1.0)")
+    p.set_defaults(fn=cmd_replay)
 
     p = sub.add_parser(
         "query", help="one-shot query through the engine (warm cache first)"

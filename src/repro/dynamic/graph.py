@@ -1,0 +1,463 @@
+"""The mutable graph layer: CSR base + sorted delta overlays.
+
+A :class:`DynamicGraph` wraps an immutable :class:`~repro.graph.csr.CSRGraph`
+and records edge insertions / deletions in small per-vertex overlays.  The
+*effective* neighbourhood of a touched vertex is the base row minus its
+removed set plus its added set, merged into a sorted array and cached until
+the next mutation of that vertex.  Periodic :meth:`compact` folds the
+overlays back into a fresh CSR (the overlay-free representation every
+counting kernel and the structure cache already understand).
+
+**Exact incremental triangle maintenance.**  Inserting or deleting one
+edge ``(u, v)`` changes the triangle count by exactly
+``|N(u) ∩ N(v)|`` — the number of common neighbours in the graph *without*
+that edge (Eppstein/Spiro-style incremental counting; the GraphChallenge
+streaming setting of Samsi et al. scores exactly this quantity per
+snapshot).  The intersection runs on the overlaid neighbour rows through
+the registered :data:`repro.tc.intersect.INTERSECT_KERNELS`, so the same
+kernels the batch counters use (and the fuzzer monkeypatches) serve the
+dynamic path.  Batches are validated and deduplicated in one vectorised
+pass; deltas are then accumulated edge-at-a-time against the running
+overlay, which makes a batch exactly equivalent to applying its edges
+singly, in order — and therefore order-independent for commuting updates
+(any two edges of a batch that could jointly close a triangle must share
+an endpoint, so disjoint updates always commute).
+
+**Versioned snapshots.**  ``version`` increments once per batch that
+applied at least one edge.  :meth:`snapshot` materialises the effective
+graph as an immutable CSR tagged with the version and the maintained
+count; later updates *supersede* a snapshot but can never mutate it,
+which is what gives the query service its snapshot-isolated reads
+(docs/dynamic.md).
+
+The ``dynamic.*`` metric family (exported through the active
+:class:`~repro.obs.registry.MetricsRegistry`):
+
+==================================  =========  ============================
+``dynamic.updates_applied``          counter    edges actually applied
+``dynamic.edges_inserted/deleted``   counter    per-operation split
+``dynamic.updates_rejected``         counter    self-loops / dupes / absent
+``dynamic.update_batches``           counter    batches processed
+``dynamic.compactions``              counter    overlay folds
+``dynamic.hub.rethresholds``         counter    hub-set recomputations
+``dynamic.batch.size``               histogram  requested batch sizes
+``dynamic.delta.size``               histogram  |triangle delta| per batch
+``dynamic.update_seconds``           histogram  per-batch apply latency
+``dynamic.compact_seconds``          histogram  compaction cost
+``dynamic.version``                  gauge      current version
+``dynamic.overlay_edges``            gauge      edges resident in overlays
+``dynamic.triangles``                gauge      maintained exact count
+==================================  =========  ============================
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.build import from_edges
+from repro.graph.csr import CSRGraph
+from repro.obs import get_registry
+
+__all__ = [
+    "DynamicGraph",
+    "GraphSnapshot",
+    "UpdateResult",
+    "UPDATE_SECONDS_BUCKETS",
+    "DELTA_BUCKETS",
+    "BATCH_BUCKETS",
+    "DEFAULT_KERNEL",
+]
+
+# per-batch apply latency: 10 us .. ~2.6 s, geometric
+UPDATE_SECONDS_BUCKETS = tuple(1e-5 * 2**i for i in range(18))
+DELTA_BUCKETS = tuple(float(1 << i) for i in range(16))
+BATCH_BUCKETS = tuple(float(1 << i) for i in range(14))
+
+# binary search is the vectorised scalar kernel (NumPy searchsorted);
+# merge/hash are Python loops and adaptive may fall back to them
+DEFAULT_KERNEL = "binary"
+
+
+@dataclass(frozen=True)
+class UpdateResult:
+    """Outcome of one :meth:`DynamicGraph.insert_edges` / ``delete_edges``
+    batch (or a :meth:`~DynamicGraph.compact`, where ``applied`` counts the
+    overlay edges folded into the new base)."""
+
+    op: str
+    version: int
+    requested: int
+    applied: int
+    rejected: int
+    triangle_delta: int
+    triangles: int
+
+
+@dataclass(frozen=True)
+class GraphSnapshot:
+    """One immutable, versioned view of the effective graph.
+
+    ``graph`` is a plain :class:`CSRGraph` — safe to hand to any counting
+    kernel, structure builder or cache while the owning
+    :class:`DynamicGraph` keeps mutating.  Updates supersede snapshots;
+    they never invalidate one.
+    """
+
+    version: int
+    graph: CSRGraph
+    triangles: int
+
+
+class DynamicGraph:
+    """CSR + sorted delta overlays with an exactly-maintained triangle count.
+
+    ``triangles`` may be passed when the caller already knows the base
+    count (skipping the construction-time recount).  ``kernel`` names an
+    entry of :data:`repro.tc.intersect.INTERSECT_KERNELS`, resolved per
+    call so monkeypatched kernels are exercised (the dynamic fuzzer's
+    self-test relies on this).  ``auto_compact_fraction`` folds overlays
+    back into the base once they exceed that fraction of the base edge
+    count (``None`` disables; :meth:`compact` always works explicitly).
+    With ``track_hubs=True`` a :class:`~repro.dynamic.hubs.HubTracker`
+    incrementally patches the LOTUS hub set + H2H bit array per update.
+    """
+
+    def __init__(
+        self,
+        base: CSRGraph,
+        *,
+        triangles: int | None = None,
+        kernel: str = DEFAULT_KERNEL,
+        auto_compact_fraction: float | None = 0.25,
+        track_hubs: bool = False,
+        hub_config=None,
+    ) -> None:
+        from repro.tc.intersect import INTERSECT_KERNELS
+
+        if kernel not in INTERSECT_KERNELS:
+            raise ValueError(
+                f"unknown kernel {kernel!r}; one of {sorted(INTERSECT_KERNELS)}"
+            )
+        if auto_compact_fraction is not None and auto_compact_fraction <= 0:
+            raise ValueError("auto_compact_fraction must be positive or None")
+        self._base = base
+        self._kernel = kernel
+        self._auto_compact_fraction = auto_compact_fraction
+        self._added: dict[int, set[int]] = {}
+        self._removed: dict[int, set[int]] = {}
+        self._rows: dict[int, np.ndarray] = {}
+        self._deg = base.degrees().astype(np.int64)
+        self._overlay_edges = 0
+        self._lock = threading.RLock()
+        self._snap: GraphSnapshot | None = None
+        self.version = 0
+        self.compactions = 0
+        if triangles is None:
+            from repro.tc.forward import count_triangles_forward
+
+            triangles = int(count_triangles_forward(base).triangles)
+        self.triangles = int(triangles)
+        self.hubs = None
+        if track_hubs:
+            from repro.dynamic.hubs import HubTracker
+
+            self.hubs = HubTracker(self, config=hub_config)
+
+    # -- read side ----------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self._base.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        """Effective undirected edge count (base ± overlays)."""
+        return int(self._deg.sum()) // 2
+
+    @property
+    def overlay_edges(self) -> int:
+        """Edges currently resident in the overlays (added + removed)."""
+        return self._overlay_edges
+
+    def degree(self, v: int) -> int:
+        return int(self._deg[v])
+
+    def degrees(self) -> np.ndarray:
+        return self._deg
+
+    def has_edge(self, u: int, v: int) -> bool:
+        added = self._added.get(u)
+        if added is not None and v in added:
+            return True
+        removed = self._removed.get(u)
+        if removed is not None and v in removed:
+            return False
+        return self._base.has_edge(u, v)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted effective neighbour row of ``v`` (int64)."""
+        row = self._rows.get(v)
+        if row is not None:
+            return row
+        base = self._base.neighbors(v).astype(np.int64)
+        added = self._added.get(v)
+        removed = self._removed.get(v)
+        if not added and not removed:
+            return base
+        if removed:
+            drop = np.fromiter(removed, dtype=np.int64, count=len(removed))
+            base = base[np.isin(base, drop, invert=True)]
+        if added:
+            extra = np.fromiter(added, dtype=np.int64, count=len(added))
+            base = np.concatenate([base, extra])
+            base.sort()
+        self._rows[v] = base
+        return base
+
+    def common_neighbor_count(self, u: int, v: int) -> int:
+        """``|N(u) ∩ N(v)|`` on the effective rows — the per-edge triangle
+        delta — through the configured intersect kernel."""
+        from repro.tc.intersect import INTERSECT_KERNELS
+
+        kernel = INTERSECT_KERNELS[self._kernel]
+        a, b = self.neighbors(u), self.neighbors(v)
+        if self._kernel == "bitmap":
+            return int(kernel(a, b, max(self.num_vertices, 1)))
+        return int(kernel(a, b))
+
+    # -- write side ---------------------------------------------------------
+    def insert_edges(self, edges) -> UpdateResult:
+        """Apply a batch of insertions; returns the batch outcome.
+
+        Self-loops, within-batch duplicates and already-present edges are
+        rejected (counted, never applied); out-of-range vertex ids abort
+        the whole batch with ``ValueError`` before any mutation.
+        """
+        return self._apply("insert", edges)
+
+    def delete_edges(self, edges) -> UpdateResult:
+        """Apply a batch of deletions (absent edges are rejected)."""
+        return self._apply("delete", edges)
+
+    def _normalize_batch(self, edges) -> tuple[np.ndarray, int, int]:
+        """One vectorised validation/dedup pass over a requested batch.
+
+        Returns ``(clean, requested, rejected_so_far)`` where ``clean`` is
+        (k, 2) int64 with ``u < v``, self-loops dropped and within-batch
+        duplicates collapsed (first occurrence kept, order preserved).
+        """
+        edges = np.asarray(edges, dtype=np.int64)
+        if edges.ndim == 1 and edges.size == 2:
+            edges = edges.reshape(1, 2)
+        if edges.ndim != 2 or (edges.size and edges.shape[1] != 2):
+            raise ValueError(f"edges must have shape (m, 2), got {edges.shape}")
+        edges = edges.reshape(-1, 2)
+        requested = int(edges.shape[0])
+        n = self.num_vertices
+        if requested and (edges.min() < 0 or edges.max() >= n):
+            raise ValueError(
+                f"vertex id out of range [0, {n}) in update batch"
+            )
+        lo = np.minimum(edges[:, 0], edges[:, 1])
+        hi = np.maximum(edges[:, 0], edges[:, 1])
+        proper = lo != hi  # drop self-loops
+        lo, hi = lo[proper], hi[proper]
+        keys = lo * n + hi
+        _, first = np.unique(keys, return_index=True)
+        first.sort()  # keep first occurrence, preserve arrival order
+        clean = np.column_stack([lo[first], hi[first]])
+        rejected = requested - int(clean.shape[0])
+        return clean, requested, rejected
+
+    def _apply(self, op: str, edges) -> UpdateResult:
+        registry = get_registry()
+        with self._lock, registry.span("dynamic:update", op=op) as span:
+            from repro.util.timer import clock
+
+            started = clock()
+            clean, requested, rejected = self._normalize_batch(edges)
+            inserting = op == "insert"
+            applied = 0
+            delta = 0
+            for u, v in clean.tolist():
+                if self.has_edge(u, v) == inserting:
+                    rejected += 1  # duplicate insert / absent delete
+                    continue
+                d = self.common_neighbor_count(u, v)
+                if inserting:
+                    self._link(u, v)
+                    delta += d
+                else:
+                    self._unlink(u, v)
+                    delta -= d
+                applied += 1
+                if self.hubs is not None:
+                    self.hubs.on_update(u, v, inserted=inserting)
+            self.triangles += delta
+            if applied:
+                self.version += 1
+                self._snap = None
+            elapsed = clock() - started
+            span.set("requested", requested)
+            span.set("applied", applied)
+            span.set("triangle_delta", delta)
+            registry.counter("dynamic.update_batches").add(1)
+            registry.counter("dynamic.updates_applied").add(applied)
+            registry.counter(
+                "dynamic.edges_inserted" if inserting else "dynamic.edges_deleted"
+            ).add(applied)
+            registry.counter("dynamic.updates_rejected").add(rejected)
+            registry.histogram("dynamic.batch.size", BATCH_BUCKETS).observe(requested)
+            registry.histogram("dynamic.delta.size", DELTA_BUCKETS).observe(abs(delta))
+            registry.histogram(
+                "dynamic.update_seconds", UPDATE_SECONDS_BUCKETS
+            ).observe(elapsed)
+            registry.gauge("dynamic.version").set(self.version)
+            registry.gauge("dynamic.overlay_edges").set(self._overlay_edges)
+            registry.gauge("dynamic.triangles").set(self.triangles)
+            result = UpdateResult(
+                op=op,
+                version=self.version,
+                requested=requested,
+                applied=applied,
+                rejected=rejected,
+                triangle_delta=delta,
+                triangles=self.triangles,
+            )
+            if (
+                self._auto_compact_fraction is not None
+                and self._overlay_edges
+                > max(64, self._auto_compact_fraction * self._base.num_edges)
+            ):
+                self.compact()
+            return result
+
+    def _link(self, u: int, v: int) -> None:
+        for a, b in ((u, v), (v, u)):
+            removed = self._removed.get(a)
+            if removed is not None and b in removed:
+                removed.discard(b)
+                if not removed:
+                    del self._removed[a]
+            else:
+                self._added.setdefault(a, set()).add(b)
+            self._rows.pop(a, None)
+        self._deg[u] += 1
+        self._deg[v] += 1
+        self._overlay_edges = self._count_overlay_edges()
+
+    def _unlink(self, u: int, v: int) -> None:
+        for a, b in ((u, v), (v, u)):
+            added = self._added.get(a)
+            if added is not None and b in added:
+                added.discard(b)
+                if not added:
+                    del self._added[a]
+            else:
+                self._removed.setdefault(a, set()).add(b)
+            self._rows.pop(a, None)
+        self._deg[u] -= 1
+        self._deg[v] -= 1
+        self._overlay_edges = self._count_overlay_edges()
+
+    def _count_overlay_edges(self) -> int:
+        arcs = sum(len(s) for s in self._added.values())
+        arcs += sum(len(s) for s in self._removed.values())
+        return arcs // 2
+
+    # -- materialisation ----------------------------------------------------
+    def _effective_edges(self) -> np.ndarray:
+        """The effective undirected edge list as (m, 2) int64, ``u < v``."""
+        n = self.num_vertices
+        base_edges = self._base.edges().astype(np.int64)
+        if self._removed:
+            drop_keys = np.array(
+                sorted(
+                    a * n + b
+                    for a, mates in self._removed.items()
+                    for b in mates
+                    if a < b
+                ),
+                dtype=np.int64,
+            )
+            if drop_keys.size:
+                keys = base_edges[:, 0] * n + base_edges[:, 1]
+                base_edges = base_edges[np.isin(keys, drop_keys, invert=True)]
+        if self._added:
+            extra = np.array(
+                sorted(
+                    (a, b)
+                    for a, mates in self._added.items()
+                    for b in mates
+                    if a < b
+                ),
+                dtype=np.int64,
+            ).reshape(-1, 2)
+            base_edges = np.concatenate([base_edges, extra])
+        return base_edges
+
+    def snapshot(self) -> GraphSnapshot:
+        """The current version as an immutable :class:`GraphSnapshot`.
+
+        Repeated calls at the same version return the same (cached)
+        snapshot; when the overlays are empty the base CSR is shared
+        zero-copy.  The returned graph is never mutated by later updates.
+        """
+        with self._lock:
+            snap = self._snap
+            if snap is not None and snap.version == self.version:
+                return snap
+            if self._overlay_edges == 0 and not self._added and not self._removed:
+                graph = self._base
+            else:
+                graph = from_edges(
+                    self._effective_edges(), num_vertices=self.num_vertices
+                )
+            snap = GraphSnapshot(
+                version=self.version, graph=graph, triangles=self.triangles
+            )
+            self._snap = snap
+            return snap
+
+    def compact(self) -> int:
+        """Fold the overlays into a fresh base CSR; returns edges folded.
+
+        The effective graph, maintained count and version are all
+        unchanged — compaction is a representation change only (the
+        snapshot fingerprint is byte-identical, so structure-cache keys
+        survive a compaction).
+        """
+        registry = get_registry()
+        with self._lock, registry.span("dynamic:compact") as span:
+            from repro.util.timer import clock
+
+            folded = self._overlay_edges
+            if folded == 0:
+                span.set("folded", 0)
+                return 0
+            started = clock()
+            self._base = from_edges(
+                self._effective_edges(), num_vertices=self.num_vertices
+            )
+            self._added.clear()
+            self._removed.clear()
+            self._rows.clear()
+            self._overlay_edges = 0
+            self.compactions += 1
+            elapsed = clock() - started
+            span.set("folded", folded)
+            registry.counter("dynamic.compactions").add(1)
+            registry.histogram(
+                "dynamic.compact_seconds", UPDATE_SECONDS_BUCKETS
+            ).observe(elapsed)
+            registry.gauge("dynamic.overlay_edges").set(0)
+            return folded
+
+    def __repr__(self) -> str:
+        return (
+            f"DynamicGraph(|V|={self.num_vertices:,}, |E|={self.num_edges:,}, "
+            f"version={self.version}, overlay={self._overlay_edges:,}, "
+            f"triangles={self.triangles:,})"
+        )

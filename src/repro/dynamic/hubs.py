@@ -1,0 +1,153 @@
+"""Incremental maintenance of the LOTUS hub set + H2H bit array.
+
+The static pipeline rebuilds the whole structure per graph; under a
+stream of updates that is wasteful — one edge touching two hubs changes
+exactly one H2H bit.  :class:`HubTracker` keeps the hub set (top-k by
+degree, ties broken by vertex id, matching
+:func:`repro.graph.reorder.lotus_relabeling_array`) and a
+:class:`~repro.core.bitarray.TriangularBitArray` over *hub slots*
+patched in place per update.
+
+Degree drift is what invalidates a hub set.  The tracker records, per
+update, which vertices cross the degree threshold captured at the last
+(re)build: non-hubs rising strictly above it are *promotable*, hubs
+falling strictly below it are *demotable*.  Once the drifted set exceeds
+``drift_fraction`` of the hub count the whole set is re-thresholded and
+the H2H array rebuilt — a rare O(|V| log |V| + hub arcs) event counted
+by ``dynamic.hub.rethresholds``, versus the O(1)-bit common case.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bitarray import TriangularBitArray
+from repro.core.structure import LotusConfig
+from repro.obs import get_registry
+
+__all__ = ["HubTracker"]
+
+
+class HubTracker:
+    """Tracks hub membership and hub-to-hub adjacency for a
+    :class:`~repro.dynamic.graph.DynamicGraph`.
+
+    ``slot[v]`` maps a vertex to its hub slot (``-1`` when not a hub);
+    ``h2h`` is the triangular bit array over slots.  ``on_update`` is
+    invoked by the owning graph *after* the edge flip has been applied
+    (degrees already reflect the update).
+    """
+
+    def __init__(
+        self,
+        dyn,
+        *,
+        config: LotusConfig | None = None,
+        drift_fraction: float = 0.25,
+    ) -> None:
+        if drift_fraction <= 0:
+            raise ValueError("drift_fraction must be positive")
+        self._dyn = dyn
+        self._config = config if config is not None else LotusConfig()
+        self._drift_fraction = drift_fraction
+        self.hub_count = self._config.resolve_hub_count(dyn.num_vertices)
+        self.rethresholds = 0
+        self.slot: np.ndarray
+        self.h2h: TriangularBitArray
+        self._rebuild()
+
+    # -- (re)construction ---------------------------------------------------
+    def _rebuild(self) -> None:
+        dyn = self._dyn
+        n = dyn.num_vertices
+        deg = dyn.degrees()
+        # top-k by degree, stable on vertex id — the same ordering the
+        # static relabeling uses, so a freshly-built LotusGraph agrees
+        order = np.lexsort((np.arange(n), -deg))
+        hubs = order[: self.hub_count]
+        self.slot = np.full(n, -1, dtype=np.int64)
+        self.slot[hubs] = np.arange(len(hubs), dtype=np.int64)
+        # weakest hub's degree: the membership threshold drift is
+        # measured against until the next rebuild
+        self._threshold = int(deg[hubs].min()) if len(hubs) else 0
+        self._promotable: set[int] = set()
+        self._demotable: set[int] = set()
+        self.h2h = TriangularBitArray(self.hub_count)
+        h1s: list[np.ndarray] = []
+        h2s: list[np.ndarray] = []
+        for v in hubs.tolist():
+            sv = self.slot[v]
+            row = dyn.neighbors(v)
+            mates = self.slot[row]
+            mates = mates[(mates >= 0) & (mates < sv)]
+            if mates.size:
+                h1s.append(np.full(mates.size, sv, dtype=np.int64))
+                h2s.append(mates)
+        if h1s:
+            self.h2h.set_pairs(np.concatenate(h1s), np.concatenate(h2s))
+
+    # -- per-update patching ------------------------------------------------
+    def on_update(self, u: int, v: int, *, inserted: bool) -> None:
+        """Patch hub state for an applied edge flip on ``(u, v)``."""
+        su, sv = int(self.slot[u]), int(self.slot[v])
+        if su >= 0 and sv >= 0:
+            if inserted:
+                self.h2h.set(su, sv)
+            else:
+                self.h2h.clear(su, sv)
+        self._note_drift(u, su)
+        self._note_drift(v, sv)
+        limit = max(1.0, self._drift_fraction * self.hub_count)
+        if len(self._promotable) + len(self._demotable) > limit:
+            self.rethreshold()
+
+    def _note_drift(self, vertex: int, slot: int) -> None:
+        deg = self._dyn.degree(vertex)
+        if slot < 0:
+            if deg > self._threshold:
+                self._promotable.add(vertex)
+            else:
+                self._promotable.discard(vertex)
+        else:
+            if deg < self._threshold:
+                self._demotable.add(vertex)
+            else:
+                self._demotable.discard(vertex)
+
+    def rethreshold(self) -> None:
+        """Recompute the hub set from current degrees and rebuild H2H."""
+        self._rebuild()
+        self.rethresholds += 1
+        get_registry().counter("dynamic.hub.rethresholds").add(1)
+
+    @property
+    def drift(self) -> int:
+        """Vertices currently on the wrong side of the build threshold."""
+        return len(self._promotable) + len(self._demotable)
+
+    # -- verification -------------------------------------------------------
+    def validate(self) -> None:
+        """Assert H2H exactly matches the hub-hub edges of the effective
+        graph — the fuzzer's oracle for incremental patching."""
+        dyn = self._dyn
+        hubs = np.flatnonzero(self.slot >= 0)
+        expect = set()
+        for a in hubs.tolist():
+            sa = int(self.slot[a])
+            row = dyn.neighbors(a)
+            for sb in self.slot[row]:
+                sb = int(sb)
+                if 0 <= sb < sa:
+                    expect.add((sa, sb))
+        assert self.h2h.count_set() == len(expect), (
+            self.h2h.count_set(),
+            len(expect),
+        )
+        for sa, sb in expect:
+            assert self.h2h.is_set(sa, sb), (sa, sb)
+
+    def __repr__(self) -> str:
+        return (
+            f"HubTracker(hubs={self.hub_count}, h2h={self.h2h.count_set()}, "
+            f"drift={self.drift}, rethresholds={self.rethresholds})"
+        )

@@ -1,0 +1,261 @@
+"""Edge-stream replay: parse, synthesize and drive timestamped update files.
+
+The ``repro.cli replay`` subcommand feeds a whitespace-separated edge
+stream through a :class:`~repro.dynamic.graph.DynamicGraph` in batches
+and reports the triangle-count trajectory.  Stream lines come in four
+accepted shapes (comments start with ``#``; blank lines are skipped)::
+
+    u v            # insert, no timestamp
+    ts u v         # insert at timestamp (timestamps are carried, not waited on)
+    op u v         # op in {+, -, insert, delete}
+    ts op u v
+
+:func:`synthesize_stream` generates deterministic mixed workloads for
+benchmarks and CI smoke tests: a seeded blend of fresh-edge inserts,
+deletes of live edges, and deliberate no-ops (duplicate inserts /
+missing deletes) that exercise the rejection path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, TextIO
+
+import numpy as np
+
+from repro.util.rng import make_rng
+from repro.util.timer import clock
+
+__all__ = [
+    "ReplayReport",
+    "parse_stream",
+    "parse_stream_lines",
+    "replay_stream",
+    "synthesize_stream",
+    "write_stream",
+]
+
+_OPS = {"+": "insert", "-": "delete", "insert": "insert", "delete": "delete"}
+
+
+def _parse_tokens(tokens: list[str], lineno: int) -> tuple[str, int, int]:
+    """One stream line → ``(op, u, v)``."""
+    op = "insert"
+    if len(tokens) == 4:  # ts op u v
+        op_tok, tokens = tokens[1], tokens[2:]
+        if op_tok not in _OPS:
+            raise ValueError(f"line {lineno}: unknown op {op_tok!r}")
+        op = _OPS[op_tok]
+    elif len(tokens) == 3:
+        if tokens[0] in _OPS:  # op u v
+            op, tokens = _OPS[tokens[0]], tokens[1:]
+        else:  # ts u v
+            tokens = tokens[1:]
+    elif len(tokens) != 2:  # u v
+        raise ValueError(
+            f"line {lineno}: expected 2-4 fields, got {len(tokens)}"
+        )
+    try:
+        u, v = int(tokens[0]), int(tokens[1])
+    except ValueError as exc:
+        raise ValueError(f"line {lineno}: non-integer endpoint") from exc
+    return op, u, v
+
+
+def parse_stream_lines(lines: Iterable[str]) -> list[tuple[str, int, int]]:
+    """Parse stream lines into an op list ``[(op, u, v), ...]``."""
+    ops: list[tuple[str, int, int]] = []
+    for lineno, line in enumerate(lines, start=1):
+        stripped = line.split("#", 1)[0].strip()
+        if not stripped:
+            continue
+        ops.append(_parse_tokens(stripped.split(), lineno))
+    return ops
+
+
+def parse_stream(path: str) -> list[tuple[str, int, int]]:
+    """Parse a stream file (see module docstring for line shapes)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_stream_lines(handle)
+
+
+def write_stream(path: str, ops: Iterable[tuple[str, int, int]]) -> int:
+    """Write ops as ``op u v`` lines; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for op, u, v in ops:
+            handle.write(f"{op} {u} {v}\n")
+            count += 1
+    return count
+
+
+def synthesize_stream(
+    graph,
+    num_ops: int,
+    *,
+    seed: int | np.random.Generator = 0,
+    insert_fraction: float = 0.6,
+    noise_fraction: float = 0.05,
+) -> list[tuple[str, int, int]]:
+    """Deterministic mixed update stream against ``graph`` (CSRGraph).
+
+    Roughly ``insert_fraction`` of ops insert fresh (or previously
+    deleted) edges, the rest delete live ones; ``noise_fraction`` of ops
+    are deliberate no-ops (duplicate insert / absent delete) so replays
+    exercise the rejection path.  The stream is replay-consistent: every
+    delete targets an edge live at that point, every non-noise insert a
+    pair absent at that point.
+    """
+    rng = make_rng(seed)
+    n = graph.num_vertices
+    # live edges as an indexable list (O(1) seeded pick + swap-pop
+    # removal) mirrored by a set for membership; edges() is already in a
+    # deterministic (lexsorted) order, so the stream is seed-reproducible
+    live_list: list[tuple[int, int]] = [
+        (int(u), int(v)) for u, v in graph.edges()
+    ]
+    live = set(live_list)
+    dead: list[tuple[int, int]] = []
+    ops: list[tuple[str, int, int]] = []
+    while len(ops) < num_ops:
+        roll = rng.random()
+        if roll < noise_fraction and live_list:
+            # deliberate no-op: duplicate insert or absent delete
+            if dead and rng.random() < 0.5:
+                ops.append(("delete", *dead[rng.integers(len(dead))]))
+            else:
+                ops.append(("insert", *live_list[rng.integers(len(live_list))]))
+            continue
+        if rng.random() < insert_fraction or not live_list:
+            if dead and rng.random() < 0.3:
+                pair = dead.pop(rng.integers(len(dead)))
+            else:
+                while True:
+                    u, v = int(rng.integers(n)), int(rng.integers(n))
+                    if u == v:
+                        continue
+                    pair = (min(u, v), max(u, v))
+                    if pair not in live:
+                        break
+            live.add(pair)
+            live_list.append(pair)
+            ops.append(("insert", *pair))
+        else:
+            idx = int(rng.integers(len(live_list)))
+            pair = live_list[idx]
+            live_list[idx] = live_list[-1]
+            live_list.pop()
+            live.discard(pair)
+            dead.append(pair)
+            ops.append(("delete", *pair))
+    return ops
+
+
+@dataclass
+class ReplayReport:
+    """Trajectory and totals from one :func:`replay_stream` run."""
+
+    ops: int
+    applied: int
+    rejected: int
+    batches: int
+    compactions: int
+    final_version: int
+    final_triangles: int
+    elapsed_seconds: float
+    trajectory: list[dict] = field(default_factory=list)
+
+    @property
+    def per_update_seconds(self) -> float:
+        return self.elapsed_seconds / max(1, self.applied)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "ops": self.ops,
+            "applied": self.applied,
+            "rejected": self.rejected,
+            "batches": self.batches,
+            "compactions": self.compactions,
+            "final_version": self.final_version,
+            "final_triangles": self.final_triangles,
+            "elapsed_seconds": self.elapsed_seconds,
+            "per_update_seconds": self.per_update_seconds,
+            "trajectory": self.trajectory,
+        }
+
+
+def replay_stream(
+    dyn,
+    ops: list[tuple[str, int, int]],
+    *,
+    batch: int = 64,
+    compact_every: int | None = None,
+    on_batch: Callable[[dict], None] | None = None,
+) -> ReplayReport:
+    """Stream ``ops`` through ``dyn`` in batches; returns the trajectory.
+
+    Consecutive ops of the same kind are grouped into arrays up to
+    ``batch`` long (a kind switch closes the current batch — order
+    matters for exactness).  ``compact_every`` forces a compaction every
+    that many batches; ``on_batch`` sees each trajectory entry as it is
+    produced (the CLI uses it for ``--progress`` output).
+    """
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
+    report = ReplayReport(
+        ops=len(ops),
+        applied=0,
+        rejected=0,
+        batches=0,
+        compactions=0,
+        final_version=dyn.version,
+        final_triangles=dyn.triangles,
+        elapsed_seconds=0.0,
+    )
+    started = clock()
+    i = 0
+    while i < len(ops):
+        kind = ops[i][0]
+        j = i
+        while j < len(ops) and j - i < batch and ops[j][0] == kind:
+            j += 1
+        edges = np.array([(u, v) for _, u, v in ops[i:j]], dtype=np.int64)
+        result = (
+            dyn.insert_edges(edges) if kind == "insert" else dyn.delete_edges(edges)
+        )
+        report.batches += 1
+        report.applied += result.applied
+        report.rejected += result.rejected
+        if compact_every and report.batches % compact_every == 0:
+            if dyn.compact():
+                report.compactions += 1
+        entry = {
+            "batch": report.batches,
+            "op": kind,
+            "ops": j - i,
+            "applied": result.applied,
+            "rejected": result.rejected,
+            "version": result.version,
+            "delta": result.triangle_delta,
+            "triangles": result.triangles,
+            "ms": round((clock() - started) * 1e3, 3),
+        }
+        report.trajectory.append(entry)
+        if on_batch is not None:
+            on_batch(entry)
+        i = j
+    report.elapsed_seconds = clock() - started
+    report.final_version = dyn.version
+    report.final_triangles = dyn.triangles
+    report.compactions = dyn.compactions
+    return report
+
+
+def print_trajectory(entry: dict, out: TextIO) -> None:
+    """Default ``--progress`` formatter for one trajectory entry."""
+    print(
+        f"batch {entry['batch']:>5}  {entry['op']:<6} ops={entry['ops']:<5} "
+        f"applied={entry['applied']:<5} delta={entry['delta']:<+8} "
+        f"triangles={entry['triangles']:<12} v{entry['version']}",
+        file=out,
+    )

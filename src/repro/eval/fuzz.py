@@ -13,6 +13,15 @@ Everything is dependency-free (NumPy only — no hypothesis) and fully
 deterministic per seed: ``python -m repro.eval.fuzz --cases 200 --seed 7``
 re-runs the exact CI corpus.  See ``docs/testing.md`` for the taxonomy
 and reproduction workflow.
+
+``--dynamic`` switches to the **dynamic-differential** mode: each case
+pairs a seeded base graph with a random insert/delete/compact/query
+interleaving, applies it through :class:`repro.dynamic.DynamicGraph` in
+batches, and checks after every batch that the incrementally-maintained
+count equals a full ``count_triangles_forward`` recount of the snapshot,
+that the snapshot's edge set equals a pure-Python shadow simulation, and
+that the applied/rejected accounting matches the shadow exactly.
+Failing op sequences are ddmin-minimised before reporting.
 """
 
 from __future__ import annotations
@@ -36,6 +45,12 @@ __all__ = [
     "minimize_case",
     "format_case",
     "run_fuzz",
+    "DynamicFuzzCase",
+    "random_dynamic_case",
+    "check_dynamic_case",
+    "minimize_dynamic_case",
+    "format_dynamic_case",
+    "run_dynamic_fuzz",
 ]
 
 CASE_KINDS = (
@@ -302,6 +317,280 @@ def run_fuzz(
     return {"cases": cases, "kinds": kind_counts, "failure": None}
 
 
+# -- dynamic-differential mode ----------------------------------------------
+
+@dataclass(frozen=True)
+class DynamicFuzzCase:
+    """One dynamic case: a base graph plus an update/compact op sequence.
+
+    ``ops`` entries are ``("insert", u, v)``, ``("delete", u, v)`` or
+    ``("compact",)``.  The sequence is generated replay-consistent
+    (deletes target live edges, inserts absent pairs) with a deliberate
+    share of no-ops — self-loops, duplicate inserts, absent deletes — so
+    the rejection accounting is fuzzed too.
+    """
+
+    seed: int
+    kind: str
+    num_vertices: int
+    edges: np.ndarray  # base edge list, (m, 2) int64
+    ops: tuple
+
+    def graph(self) -> CSRGraph:
+        return from_edges(self.edges, num_vertices=self.num_vertices)
+
+
+def random_dynamic_case(seed: int, num_ops: int = 60) -> DynamicFuzzCase:
+    """Derive a dynamic case from :func:`random_case`'s graph for ``seed``.
+
+    The op stream uses an independent generator (``seed ^ golden-ratio``)
+    so the base graph is byte-identical to the static case of the same
+    seed — a static-mode failure and its dynamic twin share a corpus.
+    """
+    base = random_case(seed)
+    rng = np.random.default_rng(seed ^ 0x9E3779B9)
+    graph = base.graph()
+    n = base.num_vertices
+    full = n * (n - 1) // 2
+    live_list: list[tuple[int, int]] = [
+        (int(u), int(v)) for u, v in graph.edges()
+    ]
+    live = set(live_list)
+    dead: list[tuple[int, int]] = []
+    ops: list[tuple] = []
+    while len(ops) < num_ops:
+        roll = rng.random()
+        if roll < 0.05 or n < 2:
+            ops.append(("compact",))
+            continue
+        if roll < 0.15:
+            # deliberate no-ops: the rejection path is part of the contract
+            pick = rng.random()
+            if pick < 1 / 3:
+                v = int(rng.integers(n))
+                ops.append(("insert", v, v))
+            elif pick < 2 / 3 and live_list:
+                ops.append(
+                    ("insert", *live_list[int(rng.integers(len(live_list)))])
+                )
+            elif dead:
+                ops.append(("delete", *dead[int(rng.integers(len(dead)))]))
+            else:
+                v = int(rng.integers(n))
+                ops.append(("delete", v, v))
+            continue
+        if rng.random() < 0.45 and live_list:
+            idx = int(rng.integers(len(live_list)))
+            pair = live_list[idx]
+            live_list[idx] = live_list[-1]
+            live_list.pop()
+            live.discard(pair)
+            dead.append(pair)
+            ops.append(("delete", *pair))
+        else:
+            if len(live) >= full:  # clique saturated — nothing to insert
+                ops.append(("compact",))
+                continue
+            if dead and rng.random() < 0.3:
+                pair = dead.pop(int(rng.integers(len(dead))))
+            else:
+                while True:
+                    u, v = int(rng.integers(n)), int(rng.integers(n))
+                    if u == v:
+                        continue
+                    pair = (min(u, v), max(u, v))
+                    if pair not in live:
+                        break
+            live.add(pair)
+            live_list.append(pair)
+            ops.append(("insert", *pair))
+    return DynamicFuzzCase(seed, base.kind, n, base.edges, tuple(ops))
+
+
+def check_dynamic_case(case: DynamicFuzzCase, batch: int = 8) -> list[str]:
+    """Differentially execute one dynamic case; returns mismatch strings.
+
+    Oracles, checked after **every** batch:
+
+    * maintained count == full forward recount of the current snapshot;
+    * snapshot edge set == a pure-Python shadow simulation of the ops;
+    * per-batch applied/rejected == the shadow's sequential accounting;
+    * compaction changes neither count, version nor effective edges.
+
+    The final state is additionally checked against :func:`dense_oracle`
+    and, when hub tracking is on, the incrementally-patched H2H bit
+    array is validated bit-for-bit.
+    """
+    from repro.dynamic import DynamicGraph
+    from repro.tc.forward import count_triangles_forward
+
+    try:
+        dyn = DynamicGraph(
+            case.graph(),
+            track_hubs=case.num_vertices >= 2,
+            auto_compact_fraction=None,
+        )
+    except Exception as exc:
+        return [f"construct: raised {type(exc).__name__}: {exc}"]
+    shadow = {
+        (int(u), int(v)) for u, v in dyn.snapshot().graph.edges()
+    }
+    mismatches: list[str] = []
+
+    def recount_check(label: str) -> None:
+        snap = dyn.snapshot()
+        recount = int(count_triangles_forward(snap.graph).triangles)
+        if dyn.triangles != recount:
+            mismatches.append(
+                f"{label}: maintained {dyn.triangles}, recount says {recount}"
+            )
+        got = {(int(u), int(v)) for u, v in snap.graph.edges()}
+        if got != shadow:
+            extra = sorted(got - shadow)[:4]
+            missing = sorted(shadow - got)[:4]
+            mismatches.append(
+                f"{label}: edge set diverged from shadow "
+                f"(extra={extra}, missing={missing})"
+            )
+
+    i = 0
+    batches = 0
+    while i < len(case.ops) and not mismatches:
+        kind = case.ops[i][0]
+        batches += 1
+        if kind == "compact":
+            before = (dyn.triangles, dyn.version)
+            dyn.compact()
+            if (dyn.triangles, dyn.version) != before:
+                mismatches.append(
+                    f"batch {batches} (compact): count/version changed "
+                    f"{before} -> {(dyn.triangles, dyn.version)}"
+                )
+            recount_check(f"batch {batches} (compact)")
+            i += 1
+            continue
+        j = i
+        while j < len(case.ops) and j - i < batch and case.ops[j][0] == kind:
+            j += 1
+        edges = np.array([op[1:] for op in case.ops[i:j]], dtype=np.int64)
+        # sequential shadow accounting (dedup-then-apply is equivalent)
+        want_applied = want_rejected = 0
+        for u, v in edges.tolist():
+            pair = (min(u, v), max(u, v))
+            if u == v or (pair in shadow) == (kind == "insert"):
+                want_rejected += 1
+            elif kind == "insert":
+                shadow.add(pair)
+                want_applied += 1
+            else:
+                shadow.discard(pair)
+                want_applied += 1
+        result = (
+            dyn.insert_edges(edges)
+            if kind == "insert"
+            else dyn.delete_edges(edges)
+        )
+        if (result.applied, result.rejected) != (want_applied, want_rejected):
+            mismatches.append(
+                f"batch {batches} ({kind}): applied/rejected "
+                f"({result.applied}, {result.rejected}), shadow says "
+                f"({want_applied}, {want_rejected})"
+            )
+        recount_check(f"batch {batches} ({kind})")
+        i = j
+    if not mismatches:
+        expected = dense_oracle(dyn.snapshot().graph)
+        if dyn.triangles != expected:
+            mismatches.append(
+                f"final: maintained {dyn.triangles}, dense oracle says {expected}"
+            )
+        if dyn.hubs is not None:
+            try:
+                dyn.hubs.validate()
+            except AssertionError as exc:
+                mismatches.append(f"final: hub tracker invalid: {exc}")
+    return mismatches
+
+
+def minimize_dynamic_case(
+    case: DynamicFuzzCase,
+    is_failing: Callable[[DynamicFuzzCase], bool],
+    max_checks: int = 400,
+) -> DynamicFuzzCase:
+    """Shrink a failing op sequence by deleting op blocks (ddmin-style).
+
+    Mirrors :func:`minimize_case` but operates on ``ops`` — dropping
+    contiguous blocks, halving the block size down to single ops, keeping
+    every deletion that preserves the failure.
+    """
+    ops = list(case.ops)
+    checks = 0
+    block = max(len(ops) // 2, 1)
+    while ops and checks < max_checks:
+        i = 0
+        while i < len(ops) and checks < max_checks:
+            candidate = replace(case, ops=tuple(ops[:i] + ops[i + block:]))
+            checks += 1
+            if is_failing(candidate):
+                ops = list(candidate.ops)
+            else:
+                i += block
+        if block == 1:
+            break
+        block = max(block // 2, 1)
+    return replace(case, ops=tuple(ops))
+
+
+def format_dynamic_case(case: DynamicFuzzCase) -> str:
+    """A copy-pasteable snippet that rebuilds the dynamic case."""
+    op_list = ", ".join(repr(op) for op in case.ops)
+    return (
+        format_case(case).replace("# fuzz case:", "# dynamic fuzz case:", 1)
+        + f"\nops = [{op_list}]"
+        + "\nfrom repro.eval.fuzz import DynamicFuzzCase, check_dynamic_case"
+        + f"\ncase = DynamicFuzzCase({case.seed}, {case.kind!r}, "
+        f"{case.num_vertices}, edges, tuple(ops))"
+        + "\nprint(check_dynamic_case(case))"
+    )
+
+
+def run_dynamic_fuzz(
+    cases: int = 200,
+    seed: int = 0,
+    ops_per_case: int = 60,
+    on_progress: Callable[[int, DynamicFuzzCase], None] | None = None,
+) -> dict:
+    """Run ``cases`` dynamic cases; minimise and report the first failure.
+
+    Same contract as :func:`run_fuzz`: case ``i`` uses seed ``seed + i``
+    and any failure reproduces alone from its seed.
+    """
+    kind_counts: dict[str, int] = {}
+    for i in range(cases):
+        case = random_dynamic_case(seed + i, num_ops=ops_per_case)
+        kind_counts[case.kind] = kind_counts.get(case.kind, 0) + 1
+        if on_progress is not None:
+            on_progress(i, case)
+        mismatches = check_dynamic_case(case)
+        if mismatches:
+            shrunk = minimize_dynamic_case(
+                case, lambda c: bool(check_dynamic_case(c))
+            )
+            return {
+                "cases": i + 1,
+                "kinds": kind_counts,
+                "failure": {
+                    "seed": case.seed,
+                    "kind": case.kind,
+                    "mismatches": check_dynamic_case(shrunk),
+                    "original_ops": int(len(case.ops)),
+                    "shrunk_ops": int(len(shrunk.ops)),
+                    "repro": format_dynamic_case(shrunk),
+                },
+            }
+    return {"cases": cases, "kinds": kind_counts, "failure": None}
+
+
 def main(argv: Iterable[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.eval.fuzz",
@@ -310,13 +599,29 @@ def main(argv: Iterable[str] | None = None) -> int:
     parser.add_argument("--cases", type=int, default=200)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--progress-every", type=int, default=50)
+    parser.add_argument(
+        "--dynamic", action="store_true",
+        help="dynamic-differential mode: fuzz insert/delete/compact "
+             "interleavings against full-recount oracles",
+    )
+    parser.add_argument(
+        "--ops", type=int, default=60,
+        help="ops per dynamic case (ignored without --dynamic)",
+    )
     args = parser.parse_args(list(argv) if argv is not None else None)
 
-    def progress(i: int, case: FuzzCase) -> None:
+    def progress(i: int, case) -> None:
         if args.progress_every and i % args.progress_every == 0:
             print(f"case {i}/{args.cases} (seed {case.seed}, {case.kind})")
 
-    report = run_fuzz(args.cases, args.seed, on_progress=progress)
+    if args.dynamic:
+        report = run_dynamic_fuzz(
+            args.cases, args.seed, ops_per_case=args.ops, on_progress=progress
+        )
+        shrunk_unit = "ops"
+    else:
+        report = run_fuzz(args.cases, args.seed, on_progress=progress)
+        shrunk_unit = "edges"
     if report["failure"] is None:
         print(
             f"ok: {report['cases']} cases, no mismatches "
@@ -328,7 +633,8 @@ def main(argv: Iterable[str] | None = None) -> int:
     for m in failure["mismatches"]:
         print(f"  {m}")
     print(
-        f"shrunk {failure['original_edges']} -> {failure['shrunk_edges']} edges:"
+        f"shrunk {failure[f'original_{shrunk_unit}']} -> "
+        f"{failure[f'shrunk_{shrunk_unit}']} {shrunk_unit}:"
     )
     print(failure["repro"])
     return 1

@@ -434,6 +434,11 @@ def ledger_metric_kind(key: str) -> str:
         # serving metrics (cache hit mixes, queue depths, latencies) depend
         # on request arrival order and machine load; trend, never gate
         return "timing"
+    if ".dynamic." in key or key.startswith("dynamic."):
+        # dynamic-graph metrics: the update-vs-recount speedup is gated
+        # as a floor (the whole point of incremental maintenance); batch
+        # sizes, overlay residency and latencies are informational
+        return "floor" if key.endswith("_speedup") else "timing"
     if key.endswith("_share") or key.startswith("gauge."):
         return "share"
     if key.endswith("_speedup"):

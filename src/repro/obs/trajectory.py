@@ -39,10 +39,15 @@ __all__ = [
     "TELEMETRY_REPEATS",
     "PROFILER_DATASET",
     "PROFILER_REPEATS",
+    "DYNAMIC_DATASET",
+    "DYNAMIC_OPS",
+    "DYNAMIC_BATCH",
+    "DYNAMIC_SEED",
     "build_scaling_measurements",
     "build_serve_measurements",
     "build_telemetry_overhead_measurements",
     "build_profiler_overhead_measurements",
+    "build_dynamic_measurements",
     "build_trajectory_artifact",
     "write_trajectory_artifact",
 ]
@@ -91,6 +96,20 @@ TELEMETRY_REPEATS = 3
 # :data:`repro.obs.regress.DEFAULT_PROFILER_CEILING` (<= 1.10).
 PROFILER_DATASET = "EU15"
 PROFILER_REPEATS = 3
+
+# Pinned dynamic-graph replay: a seeded mixed insert/delete stream
+# against the largest stand-in.  The gated metric is the amortised
+# per-update cost versus a per-update full forward recount, expressed as
+# a speedup (``*_speedup`` -> floor kind: a drop regresses).  The
+# acceptance floor is 10x; the committed baseline pins exactly that
+# policy value rather than a measured number (measurements land 2-3
+# orders of magnitude higher and would make the floor gate meaninglessly
+# tight under the 2% tolerance).  The final triangle count of the seeded
+# stream is deterministic and gated exactly.
+DYNAMIC_DATASET = "EU15"
+DYNAMIC_OPS = 1024
+DYNAMIC_BATCH = 128
+DYNAMIC_SEED = 7
 
 
 def build_scaling_measurements(
@@ -340,6 +359,63 @@ def build_profiler_overhead_measurements(
     return metrics, info
 
 
+def build_dynamic_measurements(
+    dataset: str = DYNAMIC_DATASET,
+    ops: int = DYNAMIC_OPS,
+    batch: int = DYNAMIC_BATCH,
+    seed: int = DYNAMIC_SEED,
+) -> tuple[dict[str, float], dict[str, Any]]:
+    """Amortised incremental-update cost versus naive per-update recount.
+
+    Replays a seeded mixed insert/delete stream through a
+    :class:`~repro.dynamic.graph.DynamicGraph` and times (a) the whole
+    replay, amortised per applied update, and (b) one full
+    ``count_triangles_forward`` recount of the final graph — the cost a
+    naive serving layer would pay *per update*.  Returns ``(metrics,
+    info)``: the gated metrics are ``dynamic.<dataset>.update_speedup``
+    (floor kind) and ``dynamic.<dataset>.triangles`` (exact — the seeded
+    stream is deterministic).  The correctness canary asserts the
+    incrementally maintained count equals the recount exactly.
+    """
+    import time
+
+    from repro.dynamic import DynamicGraph, replay_stream, synthesize_stream
+    from repro.graph import load_dataset
+    from repro.tc.forward import count_triangles_forward
+
+    if ops < 1:
+        raise ValueError("ops must be >= 1")
+    graph = load_dataset(dataset)
+    base = count_triangles_forward(graph)
+    stream = synthesize_stream(graph, ops, seed=seed)
+    dyn = DynamicGraph(graph, triangles=int(base.triangles))
+    report = replay_stream(dyn, stream, batch=batch)
+    started = time.perf_counter()
+    recount = count_triangles_forward(dyn.snapshot().graph)
+    recount_s = time.perf_counter() - started
+    if int(recount.triangles) != dyn.triangles:  # pragma: no cover - canary
+        raise AssertionError(
+            f"dynamic bench diverged on {dataset}: incremental "
+            f"{dyn.triangles} != recount {int(recount.triangles)}"
+        )
+    per_update = report.per_update_seconds
+    speedup = recount_s / per_update if per_update > 0 else float(ops)
+    metrics = {
+        f"dynamic.{dataset}.update_speedup": round(speedup, 4),
+        f"dynamic.{dataset}.triangles": dyn.triangles,
+    }
+    info: dict[str, Any] = {
+        f"dynamic.{dataset}.ops": ops,
+        f"dynamic.{dataset}.applied": report.applied,
+        f"dynamic.{dataset}.batch": batch,
+        f"dynamic.{dataset}.per_update_us": round(per_update * 1e6, 2),
+        f"dynamic.{dataset}.recount_seconds": round(recount_s, 4),
+        f"dynamic.{dataset}.replay_seconds": round(report.elapsed_seconds, 4),
+        f"dynamic.{dataset}.compactions": report.compactions,
+    }
+    return metrics, info
+
+
 def build_trajectory_artifact(
     suite: Iterable[str] = DEFAULT_SUITE,
     machines: Iterable[str] = ALL_MACHINES,
@@ -348,6 +424,7 @@ def build_trajectory_artifact(
     serve: str | None = None,
     telemetry_overhead: str | None = None,
     profiler_overhead: str | None = None,
+    dynamic: str | None = None,
 ) -> dict[str, Any]:
     """Measure the pinned suite and return the artifact as a plain dict.
 
@@ -428,6 +505,10 @@ def build_trajectory_artifact(
         )
         metrics.update(prof_metrics)
         info.update(prof_info)
+    if dynamic:
+        dyn_metrics, dyn_info = build_dynamic_measurements(dynamic)
+        metrics.update(dyn_metrics)
+        info.update(dyn_info)
     return {
         "schema": TRAJECTORY_SCHEMA_VERSION,
         "kind": "bench-trajectory",
@@ -438,6 +519,7 @@ def build_trajectory_artifact(
         "serve": serve,
         "telemetry_overhead": telemetry_overhead,
         "profiler_overhead": profiler_overhead,
+        "dynamic": dynamic,
         "metrics": metrics,
         "info": info,
     }

@@ -39,6 +39,8 @@ the JSON-lines protocol of ``repro.cli serve`` / ``repro.cli query``.
 from repro.serve.cache import CacheEntry, StructureCache, structure_key
 from repro.serve.engine import QueryEngine, QueryTicket
 from repro.serve.request import (
+    KNOWN_OPS,
+    UPDATE_OPS,
     EngineStoppedError,
     QueryRequest,
     QueryResult,
@@ -50,6 +52,7 @@ from repro.serve.request import (
 __all__ = [
     "CacheEntry",
     "EngineStoppedError",
+    "KNOWN_OPS",
     "QueryEngine",
     "QueryRequest",
     "QueryResult",
@@ -57,6 +60,7 @@ __all__ = [
     "QueueFullError",
     "ServeError",
     "StructureCache",
+    "UPDATE_OPS",
     "result_fields",
     "structure_key",
 ]

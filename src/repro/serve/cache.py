@@ -49,14 +49,30 @@ DEFAULT_CACHE_BYTES = 256 << 20
 DEFAULT_CACHE_ENTRIES = 8
 
 
-def structure_key(graph: CSRGraph, config: LotusConfig | None = None) -> str:
-    """``<edge_hash>/<config_hash>`` cache key for one (graph, config)."""
+def structure_key(
+    graph: CSRGraph,
+    config: LotusConfig | None = None,
+    *,
+    version: int | None = None,
+) -> str:
+    """``<edge_hash>/<config_hash>`` cache key for one (graph, config).
+
+    ``version`` tags snapshot entries of a dynamic session
+    (``.../<cfg>@v3``).  The fingerprint alone already distinguishes
+    snapshots — different versions have different bytes — but the tag
+    keeps (fingerprint, version) explicit in the key so entries read as
+    snapshot entries in stats and logs, and so a graph that returns to a
+    previous byte-identical state still keys the same entry per version.
+    """
     config = config or LotusConfig()
     fp = dataset_fingerprint(graph)
     cfg = config_hash(
         {"hub_count": config.hub_count, "head_fraction": config.head_fraction}
     )
-    return f"{fp['edge_hash']}/{cfg}"
+    key = f"{fp['edge_hash']}/{cfg}"
+    if version is not None:
+        key = f"{key}@v{version}"
+    return key
 
 
 def _entry_nbytes(graph: CSRGraph, lotus: LotusGraph) -> int:
@@ -85,6 +101,8 @@ class CacheEntry:
     build_seconds: float = 0.0
     hits: int = 0
     shared: Any = None  # SharedArrays handle when the cache shares segments
+    version: int | None = None  # dynamic-session snapshot version
+    pins: int = 0  # in-flight queries holding this entry (never evicted)
     meta: dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -153,6 +171,7 @@ class StructureCache:
         *,
         key: str | None = None,
         dataset: str | None = None,
+        version: int | None = None,
         builder: Callable[[CSRGraph, LotusConfig | None], LotusGraph] | None = None,
     ) -> tuple[CacheEntry, str]:
         """Return ``(entry, outcome)`` with outcome in hit/miss/eviction.
@@ -186,6 +205,7 @@ class StructureCache:
                 nbytes=_entry_nbytes(graph, lotus),
                 dataset=dataset,
                 build_seconds=clock() - started,
+                version=version,
             )
             if self.share:
                 entry.shared = lotus.to_shared()
@@ -202,14 +222,25 @@ class StructureCache:
             return entry, outcome
 
     def _evict_over_budget(self) -> int:
-        """Pop LRU entries until under both budgets; returns count evicted."""
+        """Pop LRU entries until under both budgets; returns count evicted.
+
+        Pinned entries are snapshot versions held by in-flight queries —
+        skipping them is what makes reads snapshot-isolated: an update
+        can supersede a pinned version but the structure survives until
+        the last reader unpins.  The newest entry is likewise never
+        evicted (it is the one being served right now).
+        """
         registry = get_registry()
         evicted = 0
         total = sum(e.nbytes for e in self._entries.values())
-        while len(self._entries) > 1 and (
-            len(self._entries) > self.max_entries or total > self.max_bytes
-        ):
-            _, victim = self._entries.popitem(last=False)
+        keys = list(self._entries)  # LRU -> MRU
+        for key in keys[:-1]:  # never the newest
+            if len(self._entries) <= self.max_entries and total <= self.max_bytes:
+                break
+            victim = self._entries[key]
+            if victim.pins > 0:
+                continue
+            del self._entries[key]
             total -= victim.nbytes
             victim.release()
             evicted += 1
@@ -217,6 +248,20 @@ class StructureCache:
             self.evicted_entries += evicted
             registry.counter("serve.cache.evicted_entries").add(evicted)
         return evicted
+
+    # -- snapshot pinning ---------------------------------------------------
+    def pin(self, key: str) -> None:
+        """Hold ``key`` resident until the matching :meth:`unpin`."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                entry.pins += 1
+
+    def unpin(self, key: str) -> None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry.pins > 0:
+                entry.pins -= 1
 
     def _export_gauges(self, registry) -> None:
         registry.gauge("serve.cache.bytes").set(

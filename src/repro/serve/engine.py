@@ -50,6 +50,16 @@ The ``serve.*`` metric family (exported through the active
 ``serve.latency_seconds``          histogram submit-to-result latency
 ===============================  ==========  =================================
 
+**Dynamic graphs.**  ``insert`` / ``delete`` / ``compact`` ops open a
+per-source :class:`~repro.dynamic.graph.DynamicGraph` session on first
+use; later counts against that source are served from the session's
+current *snapshot* — an immutable versioned CSR cached under a
+``(fingerprint, version)``-tagged structure key, pinned while any
+in-flight query reads it (updates supersede snapshots, never invalidate
+a pinned one).  The ``maintained`` pseudo-algorithm answers straight
+from the session's incrementally-maintained count without touching the
+cache.  See docs/dynamic.md.
+
 When a :class:`~repro.obs.telemetry.TelemetryBus` is active the engine
 also streams events *during* the session: every counter increment is
 mirrored as a ``counter`` event, and any request whose submit-to-result
@@ -71,6 +81,7 @@ from repro.obs import get_registry
 from repro.obs.telemetry import get_bus
 from repro.serve.cache import CacheEntry, StructureCache, structure_key
 from repro.serve.request import (
+    UPDATE_OPS,
     EngineStoppedError,
     QueryRequest,
     QueryResult,
@@ -177,6 +188,9 @@ class QueryEngine:
         self._lock = threading.Lock()
         # graph-source memo: avoids re-reading edge-list files per request
         self._sources: dict[tuple, Any] = {}
+        # dynamic sessions by graph_key(); dispatcher-thread-only, so the
+        # order of updates vs. snapshot reads is the dispatch order
+        self._dynamic: dict[tuple, Any] = {}
 
     # -- telemetry ---------------------------------------------------------
     @staticmethod
@@ -256,6 +270,7 @@ class QueryEngine:
         stats = self.cache.stats()
         stats["queue_depth"] = self._queue.qsize()
         stats["running"] = self._thread is not None and self._thread.is_alive()
+        stats["dynamic_sessions"] = len(self._dynamic)
         return stats
 
     # -- the dispatcher ----------------------------------------------------
@@ -283,7 +298,6 @@ class QueryEngine:
                     self._fail_tickets(tickets, f"internal error: {exc}")
 
     def _process_group(self, tickets: list[QueryTicket]) -> None:
-        registry = get_registry()
         now = clock()
         live: list[QueryTicket] = []
         for t in tickets:
@@ -298,18 +312,69 @@ class QueryEngine:
                 live.append(t)
         if not live:
             return
+        # split into ordered segments: consecutive counts coalesce into
+        # one micro-batch; every update runs alone, in arrival order, so
+        # a count submitted after an update observes its version (and a
+        # count submitted before it keeps the pre-update snapshot)
+        counts: list[QueryTicket] = []
+        for t in live:
+            if t.request.op in UPDATE_OPS:
+                if counts:
+                    self._process_counts(counts)
+                    counts = []
+                self._process_update(t)
+            else:
+                counts.append(t)
+        if counts:
+            self._process_counts(counts)
+
+    def _process_counts(self, live: list[QueryTicket]) -> None:
+        registry = get_registry()
         request0 = live[0].request
         try:
             graph = self._resolve_graph(request0)
         except Exception as exc:
             self._fail_tickets(live, str(exc))
             return
+        # a graph with a dynamic session is served from its current
+        # snapshot: an immutable versioned CSR that later updates
+        # supersede but never mutate (snapshot-isolated reads)
+        session = self._dynamic.get(request0.graph_key())
+        version: int | None = None
+        if session is not None:
+            snap = session.snapshot()
+            graph = snap.graph
+            version = snap.version
         config = (
             LotusConfig(hub_count=request0.hub_count)
             if request0.hub_count
             else LotusConfig()
         )
-        key = structure_key(graph, config)
+
+        # the maintained count is read straight off the session — no
+        # structure, no cache lookup (so it does not take part in the
+        # hit/miss/eviction partition over cache lookups)
+        maintained = [t for t in live if t.request.algorithm == "maintained"]
+        if maintained:
+            live = [t for t in live if t.request.algorithm != "maintained"]
+            if session is None:
+                self._fail_tickets(
+                    maintained,
+                    "algorithm 'maintained' requires a dynamic session "
+                    "(no updates applied to this graph yet)",
+                )
+            else:
+                for t in maintained:
+                    self._finish(
+                        t,
+                        "ok",
+                        payload={"triangles": snap.triangles, "version": version},
+                        batched=len(maintained),
+                    )
+            if not live:
+                return
+            request0 = live[0].request
+        key = structure_key(graph, config, version=version)
 
         with registry.span(
             "serve:dispatch", source=request0.source_label(), batch=len(live)
@@ -324,7 +389,8 @@ class QueryEngine:
             for t in live:
                 if entry is not None:
                     _, outcome = self.cache.get_or_build(
-                        graph, config, key=key, dataset=request0.dataset
+                        graph, config, key=key, dataset=request0.dataset,
+                        version=version,
                     )
                     outcomes[id(t)] = outcome
                     continue
@@ -334,6 +400,7 @@ class QueryEngine:
                         config,
                         key=key,
                         dataset=request0.dataset,
+                        version=version,
                         builder=self._builder,
                     )
                     outcomes[id(t)] = outcome
@@ -355,28 +422,87 @@ class QueryEngine:
                 else:
                     still_live.append(t)
 
-            # one run per distinct computation; fan out to coalesced peers
-            computations: dict[tuple, list[QueryTicket]] = {}
-            for t in still_live:
-                r = t.request
-                sig = (r.algorithm, r.backend or self.backend, r.workers or self.workers)
-                computations.setdefault(sig, []).append(t)
-            for (algorithm, backend, workers), peers in computations.items():
-                try:
-                    payload = self._executor(entry, peers[0].request, backend, workers)
-                except Exception as exc:
-                    self._fail_tickets(peers, f"{type(exc).__name__}: {exc}")
-                    continue
-                if len(peers) > 1:
-                    self._count(registry, "serve.batch.coalesced", len(peers) - 1)
-                for t in peers:
-                    self._finish(
-                        t,
-                        "ok",
-                        payload=payload,
-                        cache=outcomes[id(t)],
-                        batched=len(peers),
-                    )
+            # pin the snapshot entry while computing: a superseding
+            # update may trigger evictions, but never of a version an
+            # in-flight query is still reading
+            self.cache.pin(key)
+            try:
+                # one run per distinct computation; fan out to coalesced peers
+                computations: dict[tuple, list[QueryTicket]] = {}
+                for t in still_live:
+                    r = t.request
+                    sig = (r.algorithm, r.backend or self.backend, r.workers or self.workers)
+                    computations.setdefault(sig, []).append(t)
+                for (algorithm, backend, workers), peers in computations.items():
+                    try:
+                        payload = self._executor(entry, peers[0].request, backend, workers)
+                    except Exception as exc:
+                        self._fail_tickets(peers, f"{type(exc).__name__}: {exc}")
+                        continue
+                    if version is not None:
+                        payload = dict(payload)
+                        payload["version"] = version
+                    if len(peers) > 1:
+                        self._count(registry, "serve.batch.coalesced", len(peers) - 1)
+                    for t in peers:
+                        self._finish(
+                            t,
+                            "ok",
+                            payload=payload,
+                            cache=outcomes[id(t)],
+                            batched=len(peers),
+                        )
+            finally:
+                self.cache.unpin(key)
+
+    # -- update ops --------------------------------------------------------
+    def _process_update(self, ticket: QueryTicket) -> None:
+        """Apply one insert / delete / compact to the graph's dynamic session.
+
+        The first update against a source lazily opens its session: the
+        resolved graph becomes the version-0 base and its triangle count
+        is established once (by a full forward count) so every later
+        delta is exact.  Updates never touch resident cache entries —
+        the next count simply keys a new snapshot version.
+        """
+        import numpy as np
+
+        request = ticket.request
+        try:
+            session = self._dynamic.get(request.graph_key())
+            if session is None:
+                from repro.dynamic import DynamicGraph
+
+                graph = self._resolve_graph(request)
+                session = DynamicGraph(graph)
+                self._dynamic[request.graph_key()] = session
+            if request.op == "compact":
+                folded = session.compact()
+                payload = {
+                    "version": session.version,
+                    "applied": folded,
+                    "rejected": 0,
+                    "triangle_delta": 0,
+                    "triangles": session.triangles,
+                }
+            else:
+                edges = np.asarray(request.edges, dtype=np.int64)
+                outcome = (
+                    session.insert_edges(edges)
+                    if request.op == "insert"
+                    else session.delete_edges(edges)
+                )
+                payload = {
+                    "version": outcome.version,
+                    "applied": outcome.applied,
+                    "rejected": outcome.rejected,
+                    "triangle_delta": outcome.triangle_delta,
+                    "triangles": outcome.triangles,
+                }
+        except Exception as exc:
+            self._finish(ticket, "error", error=f"{type(exc).__name__}: {exc}")
+            return
+        self._finish(ticket, "ok", payload=payload)
 
     # -- result plumbing ---------------------------------------------------
     def _finish(
@@ -409,8 +535,16 @@ class QueryEngine:
         if payload is not None:
             result.triangles = payload.get("triangles")
             result.counts = payload.get("counts")
+            result.version = payload.get("version")
+            result.applied = payload.get("applied")
+            result.rejected = payload.get("rejected")
+            result.triangle_delta = payload.get("triangle_delta")
+            claimed = (
+                "triangles", "counts", "version", "applied", "rejected",
+                "triangle_delta",
+            )
             result.extra = {
-                k: v for k, v in payload.items() if k not in ("triangles", "counts")
+                k: v for k, v in payload.items() if k not in claimed
             }
         counter = {
             "ok": "serve.requests.completed",

@@ -36,7 +36,10 @@ __all__ = [
     "QueryResult",
     "result_fields",
     "RESULT_FIELDS",
+    "UPDATE_FIELDS",
     "ERROR_FIELDS",
+    "KNOWN_OPS",
+    "UPDATE_OPS",
 ]
 
 
@@ -53,7 +56,10 @@ class EngineStoppedError(ServeError):
 
 
 # ops the engine understands; "stats" is answered by the CLI loop itself
-KNOWN_OPS = ("count",)
+KNOWN_OPS = ("count", "insert", "delete", "compact")
+
+# ops that mutate the named graph's dynamic session (docs/dynamic.md)
+UPDATE_OPS = ("insert", "delete", "compact")
 
 
 @dataclass
@@ -77,6 +83,7 @@ class QueryRequest:
     workers: int | None = None
     timeout: float | None = None
     id: str | None = None
+    edges: Any = None  # (m, 2) edge list for insert / delete ops
 
     def validate(self) -> None:
         if self.op not in KNOWN_OPS:
@@ -87,6 +94,18 @@ class QueryRequest:
                 "exactly one of dataset / file / graph must be given "
                 f"(got {sources})"
             )
+        if self.op in ("insert", "delete"):
+            if self.edges is None or not len(self.edges):
+                raise ValueError(f"op {self.op!r} requires a non-empty edges list")
+            for pair in self.edges:
+                if len(pair) != 2 or not all(
+                    isinstance(x, int) and not isinstance(x, bool) for x in pair
+                ):
+                    raise ValueError(
+                        "edges must be a list of [u, v] integer pairs"
+                    )
+        elif self.edges is not None:
+            raise ValueError(f"op {self.op!r} does not accept edges")
         if self.timeout is not None and self.timeout <= 0:
             raise ValueError("timeout must be positive")
         if self.workers is not None and self.workers < 1:
@@ -113,11 +132,25 @@ class QueryRequest:
             return ("file", self.file, self.hub_count)
         return ("graph", id(self.graph), self.hub_count)
 
+    def graph_key(self) -> tuple:
+        """Source identity *without* build config — the key of the graph's
+        dynamic session.  Updates through any hub_count mutate the same
+        underlying graph, so the config must not split sessions."""
+        if self.dataset is not None:
+            return ("dataset", self.dataset)
+        if self.file is not None:
+            return ("file", self.file)
+        return ("graph", id(self.graph))
+
 
 # stable JSON field orders (golden-tested; do not reorder)
 RESULT_FIELDS = (
     "id", "ok", "op", "status", "dataset", "algorithm", "triangles",
     "cache", "batched", "queued_ms", "elapsed_ms",
+)
+UPDATE_FIELDS = (
+    "id", "ok", "op", "status", "dataset", "version", "applied",
+    "rejected", "triangle_delta", "triangles", "queued_ms", "elapsed_ms",
 )
 ERROR_FIELDS = ("id", "ok", "op", "status", "error")
 
@@ -138,6 +171,10 @@ class QueryResult:
     queued_ms: float = 0.0
     elapsed_ms: float = 0.0
     error: str | None = None
+    version: int | None = None  # dynamic-session snapshot version
+    applied: int | None = None  # update ops only
+    rejected: int | None = None
+    triangle_delta: int | None = None
     extra: dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -146,36 +183,60 @@ class QueryResult:
 
     def to_json_dict(self) -> dict[str, Any]:
         """Stable-field-order projection for the JSON-lines protocol."""
-        if self.status == "ok":
-            out: dict[str, Any] = {
+        if self.status != "ok":
+            return {
+                "id": self.id,
+                "ok": False,
+                "op": self.op,
+                "status": self.status,
+                "error": self.error or self.status,
+            }
+        if self.op in UPDATE_OPS:
+            return {
                 "id": self.id,
                 "ok": True,
                 "op": self.op,
                 "status": self.status,
                 "dataset": self.dataset,
-                "algorithm": self.algorithm,
+                "version": self.version,
+                "applied": self.applied,
+                "rejected": self.rejected,
+                "triangle_delta": self.triangle_delta,
                 "triangles": self.triangles,
-                "cache": self.cache,
-                "batched": self.batched,
                 "queued_ms": round(self.queued_ms, 3),
                 "elapsed_ms": round(self.elapsed_ms, 3),
             }
-            if self.counts is not None:
-                out["counts"] = dict(self.counts)
-            return out
-        return {
+        out: dict[str, Any] = {
             "id": self.id,
-            "ok": False,
+            "ok": True,
             "op": self.op,
             "status": self.status,
-            "error": self.error or self.status,
+            "dataset": self.dataset,
+            "algorithm": self.algorithm,
+            "triangles": self.triangles,
+            "cache": self.cache,
+            "batched": self.batched,
+            "queued_ms": round(self.queued_ms, 3),
+            "elapsed_ms": round(self.elapsed_ms, 3),
         }
+        # version appears only for counts served from a dynamic session:
+        # static sources keep the exact golden-tested projection
+        if self.version is not None:
+            out["version"] = self.version
+        if self.counts is not None:
+            out["counts"] = dict(self.counts)
+        return out
 
 
 def result_fields(result: QueryResult) -> tuple[str, ...]:
     """The field order :meth:`QueryResult.to_json_dict` will emit."""
     if result.status != "ok":
         return ERROR_FIELDS
+    if result.op in UPDATE_OPS:
+        return UPDATE_FIELDS
+    fields = RESULT_FIELDS
+    if result.version is not None:
+        fields = fields + ("version",)
     if result.counts is not None:
-        return RESULT_FIELDS + ("counts",)
-    return RESULT_FIELDS
+        fields = fields + ("counts",)
+    return fields

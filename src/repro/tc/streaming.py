@@ -159,6 +159,7 @@ class StreamingLotusCounter:
         self._hubs = frozenset(int(h) for h in np.asarray(hubs).ravel())
         self._h2h: set[tuple[int, int]] = set()
         self._adj: dict[int, set[int]] = {}
+        self._dropped: set[tuple[int, int]] = set()
         self._hub_neighbors: dict[int, set[int]] = {}
         self._rng = make_rng(seed)
         self._p = nn_keep_prob
@@ -186,6 +187,15 @@ class StreamingLotusCounter:
         adj_v = self._adj.get(v, set())
         if v in adj_u:
             return  # duplicate edge
+        key = (min(u, v), max(u, v))
+        if key in self._dropped:
+            # duplicate of a subsampled-away edge: each *distinct* edge
+            # gets exactly one coin flip, so a re-arrival must neither
+            # close triangles again nor re-enter the sampling lottery —
+            # otherwise the estimate depends on duplicate multiplicity
+            # and the per-seed result is no longer reproducible from the
+            # distinct-edge stream
+            return
         common = adj_u & adj_v
         for w in common:
             w_hub = w in self._hubs
@@ -202,6 +212,8 @@ class StreamingLotusCounter:
         keep = True
         if not u_hub and not v_hub and self._p < 1.0:
             keep = bool(self._rng.random() < self._p)
+        if not keep:
+            self._dropped.add(key)
         if keep:
             self._adj.setdefault(u, set()).add(v)
             self._adj.setdefault(v, set()).add(u)

@@ -118,6 +118,137 @@ def test_concurrent_clients_match_sequential_oracle(graphs, oracles):
         assert stats["entries"] <= 2
 
 
+def test_snapshot_isolated_reads_under_streaming_writer():
+    """Eight readers race a writer that streams dynamic updates.
+
+    Every count result carries the version of the snapshot it was served
+    from; a pre-simulated shadow :class:`DynamicGraph` (verified against
+    full recounts) supplies the per-version oracle, so the invariant is
+    *snapshot isolation*: whatever interleaving the dispatcher chooses, a
+    result must exactly equal its own version's recount — never a blend
+    of two versions.  The disjoint cache outcome counters must still
+    partition the cache-served count queries exactly (``maintained``
+    reads are served from the session, outside the cache)."""
+    from repro.dynamic import DynamicGraph
+
+    graph = erdos_renyi(150, 0.06, seed=17)
+    rng = random.Random(23)
+
+    # pre-simulate the update stream: version -> exact triangle oracle
+    shadow = DynamicGraph(graph)
+    expected = {None: shadow.triangles, 0: shadow.triangles}
+    batches: list[tuple[str, list[list[int]]]] = []
+    for i in range(16):
+        if i % 2 == 0:
+            fresh: list[list[int]] = []
+            while len(fresh) < 5:
+                u, v = rng.randrange(150), rng.randrange(150)
+                if u != v and not shadow.has_edge(u, v):
+                    if [min(u, v), max(u, v)] not in fresh:
+                        fresh.append([min(u, v), max(u, v)])
+            batches.append(("insert", fresh))
+            shadow.insert_edges(fresh)
+        else:
+            edges = shadow.snapshot().graph.edges()
+            take = sorted(rng.sample(range(edges.shape[0]), 5))
+            victims = [[int(u), int(v)] for u, v in edges[take]]
+            batches.append(("delete", victims))
+            shadow.delete_edges(victims)
+        recount = count_triangles_forward(shadow.snapshot().graph).triangles
+        assert shadow.triangles == recount  # oracle is itself recount-checked
+        expected[shadow.version] = shadow.triangles
+    assert shadow.version == len(batches)
+
+    results: list = []
+    errors: list = []
+    writer_done = threading.Event()
+    first_update_applied = threading.Event()
+
+    def writer(engine):
+        try:
+            for op, edges in batches:
+                r = engine.query(
+                    QueryRequest(graph=graph, op=op, edges=edges),
+                    wait_timeout=GLOBAL_TIMEOUT,
+                )
+                assert r.ok, r.error
+                assert r.applied == len(edges), (op, r.applied, r.rejected)
+                first_update_applied.set()
+        except Exception as exc:
+            errors.append(exc)
+        finally:
+            writer_done.set()
+            first_update_applied.set()
+
+    def reader():
+        try:
+            first_update_applied.wait(timeout=GLOBAL_TIMEOUT)
+            done_seen = 0
+            while done_seen < 2:  # a couple of post-quiescence reads too
+                if writer_done.is_set():
+                    done_seen += 1
+                algorithm = rng.choice(["forward", "lotus", "maintained"])
+                result = engine.query(
+                    QueryRequest(graph=graph, algorithm=algorithm),
+                    wait_timeout=GLOBAL_TIMEOUT,
+                )
+                results.append(result)
+        except Exception as exc:
+            errors.append(exc)
+
+    with use_registry() as reg:
+        cache = StructureCache(max_entries=2)  # churn across versions
+        with QueryEngine(cache, max_queue=256, max_batch=8) as engine:
+            threads = [threading.Thread(target=reader, daemon=True)
+                       for _ in range(CLIENTS)]
+            wthread = threading.Thread(target=lambda: writer(engine),
+                                       daemon=True)
+            for t in threads:
+                t.start()
+            wthread.start()
+            for t in [wthread, *threads]:
+                t.join(timeout=GLOBAL_TIMEOUT)
+                assert not t.is_alive(), "thread hung: engine deadlocked"
+        assert not errors, errors
+
+        cached_reads = 0
+        maintained_reads = 0
+        versions_seen = set()
+        for result in results:
+            assert result.ok, (result.status, result.error)
+            versions_seen.add(result.version)
+            # THE invariant: a result equals its own version's oracle
+            assert result.version in expected
+            assert result.triangles == expected[result.version], (
+                result.algorithm, result.version,
+            )
+            if result.algorithm == "maintained":
+                maintained_reads += 1
+                assert result.cache is None
+            else:
+                cached_reads += 1
+                assert result.cache in ("hit", "miss", "eviction")
+        assert maintained_reads + cached_reads == len(results)
+
+        # outcome counters partition exactly the cache-served lookups
+        counters = reg.family("serve")["counters"]
+        outcome_sum = (
+            counters.get("serve.cache.hit", 0)
+            + counters.get("serve.cache.miss", 0)
+            + counters.get("serve.cache.eviction", 0)
+        )
+        assert outcome_sum == cached_reads
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] + stats["evicting_misses"] == (
+            cached_reads
+        )
+        # the writer really did race the readers onto multiple versions
+        assert len(versions_seen) >= 1
+        assert expected[shadow.version] == count_triangles_forward(
+            shadow.snapshot().graph
+        ).triangles
+
+
 def test_concurrent_submitters_respect_admission_control(graphs):
     """Saturating a tiny queue from many threads either admits or raises
     QueueFullError — never blocks, never loses a ticket."""

@@ -163,3 +163,82 @@ class TestSampledAccuracy:
             sampled_means.append(c.hub_triangles)
         mean = float(np.mean(sampled_means))
         assert abs(mean - exact_hub) / max(1, exact_hub) < 0.25
+
+
+class TestSeededDeterminism:
+    """Regression pins for :class:`StreamingLotusCounter` reproducibility.
+
+    The estimate for a given ``(stream, seed)`` is a contract: the pinned
+    values below were produced by the fixed implementation (one coin flip
+    per *distinct* edge — re-arrivals of a subsampled-away edge are
+    no-ops).  The pre-fix counter let duplicates of dropped edges close
+    triangles again *and* draw a second coin, so its estimates depended
+    on duplicate multiplicity and silently drifted per run order."""
+
+    # seed -> (estimate_total, hub_triangles, nnn_estimate, edges_stored)
+    PINNED = {
+        3: (1712.0, 1600.0, 112.0, 1016),
+        4: (1708.0, 1604.0, 104.0, 982),
+    }
+
+    @pytest.fixture(scope="class")
+    def chung_lu(self):
+        return powerlaw_chung_lu(400, 8.0, exponent=2.2, seed=11)
+
+    @pytest.mark.parametrize("seed", sorted(PINNED))
+    def test_pinned_chung_lu_estimates(self, chung_lu, seed):
+        hubs = _hubs(chung_lu, 8)
+        counter = StreamingLotusCounter(hubs, nn_keep_prob=0.5, seed=seed)
+        counter.update_many(chung_lu.edges())
+        total, hub, nnn, stored = self.PINNED[seed]
+        assert counter.estimate_total() == total
+        assert counter.hub_triangles == hub
+        assert counter.nnn_estimate == nnn
+        assert counter.edges_stored == stored
+
+
+class TestSubsampleBoundary:
+    """Updates that arrive *after* an edge fell to the subsampling coin."""
+
+    def test_duplicate_of_dropped_edge_is_a_noop(self):
+        # make_rng(0) opens with 0.6369... >= 0.5, so the non-hub edge
+        # (0, 1) is deterministically dropped; vertex 2 is a hub, so the
+        # wedge edges (0,2), (1,2) are always stored without a coin flip
+        counter = StreamingLotusCounter(
+            hubs=np.array([2]), nn_keep_prob=0.5, seed=0
+        )
+        counter.update(0, 1)
+        assert counter.edges_stored == 0
+        counter.update(0, 2)
+        counter.update(1, 2)
+        # pre-fix, this re-arrival closed the 0-1-2 wedge (estimate 1.0)
+        # and flipped a second coin for the same distinct edge
+        counter.update(0, 1)
+        assert counter.estimate_total() == 0.0
+        assert counter.edges_stored == 2
+        assert counter.edges_seen == 4
+
+    @given(
+        params=graph_params,
+        keep=st.sampled_from([0.3, 0.6]),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_duplicated_stream_equals_distinct_stream(self, params, keep, seed):
+        """Estimator state is a function of the distinct-edge stream: a
+        stream with every edge played twice ends in the identical state
+        to the deduplicated stream under the same seed."""
+        graph = _make_graph(params)
+        edges = np.asarray(graph.edges(), dtype=np.int64)
+        hubs = _hubs(graph, max(1, graph.num_vertices // 20))
+        doubled = StreamingLotusCounter(hubs, nn_keep_prob=keep, seed=seed)
+        for u, v in edges:
+            doubled.update(int(u), int(v))
+            doubled.update(int(v), int(u))  # swapped-endpoint duplicate
+        distinct = StreamingLotusCounter(hubs, nn_keep_prob=keep, seed=seed)
+        distinct.update_many(edges)
+        assert doubled.estimate_total() == distinct.estimate_total()
+        assert doubled.hub_triangles == distinct.hub_triangles
+        assert doubled.nnn_estimate == distinct.nnn_estimate
+        assert doubled.edges_stored == distinct.edges_stored
+        assert doubled.edges_seen == 2 * distinct.edges_seen
