@@ -32,6 +32,7 @@ from repro.obs.trajectory import (  # noqa: E402  (path bootstrap above)
     ALL_MACHINES,
     DEFAULT_SUITE,
     DYNAMIC_DATASET,
+    DIST_DATASET,
     PROFILER_DATASET,
     QUICK_SUITE,
     SCALING_DATASET,
@@ -87,6 +88,12 @@ def main(argv: list[str] | None = None) -> int:
                              f"(default dataset: {DYNAMIC_DATASET}); the "
                              "amortised update-vs-recount speedup is gated "
                              "as a floor and the final count exactly")
+    parser.add_argument("--dist", nargs="?", const=DIST_DATASET,
+                        default=None, metavar="DATASET",
+                        help="also run the pinned sharded distributed count "
+                             f"(default dataset: {DIST_DATASET}); the exact "
+                             "count and the deterministic traffic metrics "
+                             "are gated, wall-clock is informational")
     parser.add_argument("--ledger", metavar="DIR", default=None,
                         help="run-ledger directory (default: runs/ at the "
                              "repo root)")
@@ -101,6 +108,7 @@ def main(argv: list[str] | None = None) -> int:
         telemetry_overhead=args.telemetry_overhead,
         profiler_overhead=args.profiler_overhead,
         dynamic=args.dynamic,
+        dist=args.dist,
     )
     path = write_trajectory_artifact(artifact, args.out, baseline=args.baseline)
     elapsed = time.perf_counter() - started
@@ -124,6 +132,7 @@ def main(argv: list[str] | None = None) -> int:
                 "telemetry_overhead": args.telemetry_overhead,
                 "profiler_overhead": args.profiler_overhead,
                 "dynamic": args.dynamic,
+                "dist": args.dist,
             },
             meta={"artifact_path": str(path), "elapsed": elapsed},
             artifact=artifact,

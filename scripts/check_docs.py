@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""Executable-documentation gate: link check + runnable fenced blocks.
+
+Two passes over the repo's markdown:
+
+1. **Link resolution** — every intra-repo markdown link in ``README.md``,
+   ``*.md`` at the repo root, and ``docs/**/*.md`` must point at a file
+   that exists (``#anchors`` are stripped; external ``http(s)://`` and
+   ``mailto:`` links are skipped).
+
+2. **Runnable blocks** — fenced code blocks in ``docs/*.md`` whose info
+   string carries the ``run`` tag (` ```bash run ` or ` ```python run `)
+   are executed from the repo root with ``PYTHONPATH=src``, against the
+   tiny bundled graph in ``docs/examples/``.  A non-zero exit fails the
+   gate, so a doc snippet can never silently rot.
+
+Usage::
+
+    python scripts/check_docs.py            # both passes
+    python scripts/check_docs.py --links    # link pass only
+    python scripts/check_docs.py --blocks   # runnable-block pass only
+
+Exit status 0 when every link resolves and every runnable block exits 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import re
+import subprocess
+import sys
+import tempfile
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+# [text](target) — excludes images vacuously (![..](..) still yields a
+# file target worth checking) and tolerates titles: (target "title")
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_FENCE_RE = re.compile(r"^```(\S*)[ \t]*(.*)$")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def markdown_files() -> list[pathlib.Path]:
+    files = sorted(REPO.glob("*.md"))
+    files += sorted((REPO / "docs").rglob("*.md"))
+    return files
+
+
+def iter_links(text: str):
+    """Yield (line_number, target) for every markdown link in ``text``."""
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in _LINK_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def check_links(files: list[pathlib.Path]) -> list[str]:
+    """Return one error string per unresolvable intra-repo link."""
+    errors: list[str] = []
+    for path in files:
+        for lineno, target in iter_links(path.read_text()):
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            dest = target.split("#", 1)[0]
+            if not dest:
+                continue
+            resolved = (path.parent / dest).resolve()
+            if not resolved.exists():
+                rel = path.relative_to(REPO)
+                errors.append(f"{rel}:{lineno}: broken link -> {target}")
+    return errors
+
+
+def extract_runnable_blocks(path: pathlib.Path):
+    """Yield (start_line, language, source) for every ``run``-tagged fence."""
+    lang: str | None = None
+    start = 0
+    lines: list[str] = []
+    in_block = False
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        fence = _FENCE_RE.match(line.strip())
+        if not in_block:
+            if fence and "run" in fence.group(2).split():
+                in_block = True
+                lang = fence.group(1) or "bash"
+                start = lineno
+                lines = []
+        else:
+            if fence and not fence.group(1) and not fence.group(2):
+                yield start, lang, "\n".join(lines) + "\n"
+                in_block = False
+            else:
+                lines.append(line)
+
+
+def run_blocks(files: list[pathlib.Path]) -> list[str]:
+    """Execute every runnable block; return one error string per failure."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env.setdefault("PYTHONHASHSEED", "0")
+    errors: list[str] = []
+    ran = 0
+    for path in files:
+        for start, lang, source in extract_runnable_blocks(path):
+            rel = path.relative_to(REPO)
+            if lang not in ("bash", "sh", "python"):
+                errors.append(f"{rel}:{start}: unrunnable language {lang!r}")
+                continue
+            suffix = ".py" if lang == "python" else ".sh"
+            with tempfile.NamedTemporaryFile(
+                "w", suffix=suffix, delete=False
+            ) as handle:
+                handle.write(source)
+                script = handle.name
+            cmd = (
+                [sys.executable, script]
+                if lang == "python"
+                else ["bash", "-euo", "pipefail", script]
+            )
+            try:
+                proc = subprocess.run(
+                    cmd, cwd=REPO, env=env, capture_output=True,
+                    text=True, timeout=600,
+                )
+            except subprocess.TimeoutExpired:
+                errors.append(f"{rel}:{start}: block timed out")
+                continue
+            finally:
+                os.unlink(script)
+            ran += 1
+            if proc.returncode != 0:
+                tail = (proc.stderr or proc.stdout).strip().splitlines()[-8:]
+                errors.append(
+                    f"{rel}:{start}: block exited {proc.returncode}\n    "
+                    + "\n    ".join(tail)
+                )
+            else:
+                print(f"ok: {rel}:{start} ({lang})")
+    print(f"{ran} runnable block(s) executed")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--links", action="store_true",
+                        help="only check link resolution")
+    parser.add_argument("--blocks", action="store_true",
+                        help="only execute runnable blocks")
+    args = parser.parse_args(argv)
+    do_links = args.links or not args.blocks
+    do_blocks = args.blocks or not args.links
+
+    files = markdown_files()
+    errors: list[str] = []
+    if do_links:
+        errors += check_links(files)
+        print(f"{len(files)} markdown file(s) link-checked")
+    if do_blocks:
+        errors += run_blocks([p for p in files if p.parent == REPO / "docs"])
+    for err in errors:
+        print(f"error: {err}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Docstring-coverage lint for the public surface of ``src/repro``.
+
+Every public module, class, function and method (name not starting with
+``_``) must carry a docstring.  Pre-existing gaps are grandfathered in
+``scripts/docstring_allowlist.txt`` — one ``path:qualname`` per line —
+and the list only ratchets *down*: an allowlisted symbol that gains a
+docstring (or disappears) makes its entry stale, and stale entries fail
+the lint so the file shrinks with the debt.
+
+Usage::
+
+    python scripts/check_docstrings.py               # lint
+    python scripts/check_docstrings.py --regenerate  # rewrite allowlist
+
+Exit status 0 when every non-allowlisted public symbol is documented and
+no allowlist entry is stale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+SRC = REPO / "src" / "repro"
+ALLOWLIST = REPO / "scripts" / "docstring_allowlist.txt"
+
+
+def _public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def iter_undocumented(path: pathlib.Path):
+    """Yield ``qualname`` for each public symbol in ``path`` missing a docstring."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    if ast.get_docstring(tree) is None:
+        yield "<module>"
+
+    def walk(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                qual = f"{prefix}{child.name}"
+                if _public(child.name) and ast.get_docstring(child) is None:
+                    yield_list.append(qual)
+                # descend into classes for methods, but not into function
+                # bodies — nested helpers are implementation detail
+                if isinstance(child, ast.ClassDef):
+                    walk(child, f"{qual}.")
+
+    yield_list: list[str] = []
+    walk(tree, "")
+    yield from yield_list
+
+
+def collect_gaps() -> list[str]:
+    """Return ``path:qualname`` for every undocumented public symbol."""
+    gaps: list[str] = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path.name == "__init__.py" and path.stat().st_size == 0:
+            continue
+        rel = path.relative_to(REPO)
+        for qual in iter_undocumented(path):
+            gaps.append(f"{rel}:{qual}")
+    return gaps
+
+
+def read_allowlist() -> set[str]:
+    if not ALLOWLIST.exists():
+        return set()
+    entries = set()
+    for line in ALLOWLIST.read_text().splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            entries.add(line)
+    return entries
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--regenerate", action="store_true",
+        help="rewrite the allowlist from the current gaps",
+    )
+    args = parser.parse_args(argv)
+
+    gaps = collect_gaps()
+    if args.regenerate:
+        header = (
+            "# Grandfathered docstring gaps — scripts/check_docstrings.py.\n"
+            "# Ratchet: entries may only be removed (fix the docstring,\n"
+            "# then delete the line); new code must be documented.\n"
+        )
+        ALLOWLIST.write_text(header + "".join(f"{g}\n" for g in gaps))
+        print(f"wrote {len(gaps)} entries to {ALLOWLIST.relative_to(REPO)}")
+        return 0
+
+    allowed = read_allowlist()
+    missing = [g for g in gaps if g not in allowed]
+    stale = sorted(allowed - set(gaps))
+    for gap in missing:
+        print(f"error: undocumented public symbol: {gap}", file=sys.stderr)
+    for entry in stale:
+        print(
+            f"error: stale allowlist entry (documented or gone — delete "
+            f"the line): {entry}",
+            file=sys.stderr,
+        )
+    checked = sum(1 for _ in SRC.rglob("*.py"))
+    print(
+        f"{checked} file(s) checked; {len(gaps)} gap(s), "
+        f"{len(allowed)} allowlisted, {len(missing)} new, {len(stale)} stale"
+    )
+    return 1 if missing or stale else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -148,6 +148,8 @@ def cmd_count(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
     backend = getattr(args, "backend", None)
     workers = getattr(args, "workers", None)
+    shards = getattr(args, "shards", None)
+    partitioner = getattr(args, "partitioner", None)
     if (backend or workers) and args.algorithm != "lotus":
         _fail(
             f"--backend/--workers select the LOTUS phase-1 backend; "
@@ -155,12 +157,19 @@ def cmd_count(args: argparse.Namespace) -> int:
         )
     if workers is not None and workers < 1:
         _fail("--workers must be >= 1")
+    if (shards is not None or partitioner is not None) and backend != "distributed":
+        _fail("--shards/--partitioner require --backend distributed")
+    if backend == "distributed":
+        if shards is not None and shards < 1:
+            _fail("--shards must be >= 1")
+        workers = shards or workers or 2
 
     def run():
         if backend or workers:
             config = LotusConfig(hub_count=args.hub_count) if args.hub_count else None
             return count_triangles_lotus(
-                graph, config, backend=backend or "auto", workers=workers
+                graph, config, backend=backend or "auto", workers=workers,
+                partitioner=partitioner or "hash",
             )
         return ALGORITHMS[args.algorithm](graph, args.hub_count)
 
@@ -171,7 +180,14 @@ def cmd_count(args: argparse.Namespace) -> int:
         result = run()
     print(f"graph: {graph}")
     print(f"algorithm: {result.algorithm}")
-    if backend or workers:
+    if backend == "distributed":
+        print(
+            f"backend: distributed (shards={result.extra.get('shards')}, "
+            f"partitioner={result.extra.get('partitioner')}, "
+            f"boundary edges {result.extra.get('boundary_edge_ratio', 0.0):.1%}, "
+            f"{result.extra.get('bytes_exchanged', 0):,} bytes exchanged)"
+        )
+    elif backend or workers:
         print(f"backend: {result.extra.get('backend')} (workers={workers or 4})")
     print(f"triangles: {result.triangles:,}")
     print(f"total time: {result.elapsed:.3f}s")
@@ -198,6 +214,11 @@ def cmd_count(args: argparse.Namespace) -> int:
                 "hub_count": args.hub_count,
                 "backend": backend,
                 "workers": workers,
+                **(
+                    {"shards": workers, "partitioner": partitioner or "hash"}
+                    if backend == "distributed"
+                    else {}
+                ),
             },
             meta={
                 "algorithm": result.algorithm,
@@ -991,12 +1012,21 @@ def build_parser() -> argparse.ArgumentParser:
     _add_graph_args(p)
     p.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="lotus")
     p.add_argument("--hub-count", type=int, default=None)
-    p.add_argument("--backend", choices=("auto", "sequential", "threads", "processes"),
+    p.add_argument("--backend",
+                   choices=("auto", "sequential", "threads", "processes",
+                            "distributed"),
                    default=None,
-                   help="LOTUS phase-1 execution backend (default: sequential; "
-                        "all backends are bit-identical)")
+                   help="LOTUS execution backend (default: sequential; all "
+                        "backends are bit-identical; 'distributed' shards the "
+                        "whole count across worker processes)")
     p.add_argument("--workers", type=int, default=None,
                    help="thread/process pool size for --backend (default: 4)")
+    p.add_argument("--shards", type=int, default=None,
+                   help="shard count for --backend distributed (default: 2)")
+    p.add_argument("--partitioner", choices=("hash", "block", "degree"),
+                   default=None,
+                   help="vertex partitioner for --backend distributed "
+                        "(default: hash)")
     p.add_argument("--trace", action="store_true",
                    help="run under the obs registry and append a "
                         "provenance-stamped record to the run ledger")
@@ -1114,11 +1144,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="submission-queue capacity (default: 64)")
     p.add_argument("--max-batch", type=int, default=8,
                    help="micro-batch size bound (default: 8)")
-    p.add_argument("--backend", choices=("auto", "sequential", "threads", "processes"),
+    p.add_argument("--backend",
+                   choices=("auto", "sequential", "threads", "processes",
+                            "distributed"),
                    default=None,
-                   help="default LOTUS phase-1 backend for queries")
+                   help="default LOTUS backend for queries ('distributed' "
+                        "shards each count across --workers processes)")
     p.add_argument("--workers", type=int, default=None,
-                   help="default pool size for --backend")
+                   help="default pool/shard size for --backend")
     p.add_argument("--timeout", type=float, default=None,
                    help="default per-request deadline in seconds")
     p.add_argument("--share", action="store_true",
@@ -1253,7 +1286,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "edge-iterator", "node-iterator", "block"),
                    default="lotus")
     p.add_argument("--hub-count", type=int, default=None)
-    p.add_argument("--backend", choices=("auto", "sequential", "threads", "processes"),
+    p.add_argument("--backend",
+                   choices=("auto", "sequential", "threads", "processes",
+                            "distributed"),
                    default=None)
     p.add_argument("--workers", type=int, default=None)
     p.add_argument("--timeout", type=float, default=None,

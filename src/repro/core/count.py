@@ -271,6 +271,7 @@ def count_triangles_lotus(
     config: LotusConfig | None = None,
     backend: str | None = None,
     workers: int | None = None,
+    partitioner: str = "hash",
 ) -> TCResult:
     """End-to-end LOTUS triangle counting: Algorithm 2 + Algorithm 3.
 
@@ -278,8 +279,15 @@ def count_triangles_lotus(
     breakdown (Figure 6) in ``phases`` and the per-type counts (Figure 7)
     plus the HE/NHE edge split (Figure 8) in ``extra``.  ``backend`` /
     ``workers`` select the phase-1 execution backend (see
-    :func:`lotus_count_from_structure`).
+    :func:`lotus_count_from_structure`).  ``backend="distributed"``
+    instead shards the whole count across ``workers`` real processes
+    (:mod:`repro.dist.runtime`) partitioned by ``partitioner``; the
+    per-type counts are identical to every other backend.
     """
+    if backend == "distributed":
+        return _count_triangles_distributed(
+            graph, config, shards=workers or 2, partitioner=partitioner
+        )
     timer = PhaseTimer()
     with root_span(
         "lotus", num_vertices=graph.num_vertices, num_edges=graph.num_edges
@@ -302,5 +310,52 @@ def count_triangles_lotus(
             "hub_edges": lotus.hub_edges,
             "non_hub_edges": lotus.non_hub_edges,
             "hub_edge_fraction": lotus.hub_edge_fraction(),
+        },
+    )
+
+
+def _count_triangles_distributed(
+    graph: CSRGraph,
+    config: LotusConfig | None,
+    shards: int,
+    partitioner: str,
+) -> TCResult:
+    """The ``backend="distributed"`` path of :func:`count_triangles_lotus`.
+
+    The sharded runtime rebuilds the LOTUS orientation per shard, so
+    there is no separate preprocess phase here; the whole run is one
+    ``distributed`` phase whose worker-side spans carry the breakdown.
+    """
+    # local import: repro.dist.runtime imports LotusCounts from here
+    from repro.dist.runtime import run_distributed_count
+
+    timer = PhaseTimer()
+    with root_span(
+        "lotus", num_vertices=graph.num_vertices, num_edges=graph.num_edges
+    ) as span:
+        with timed_phase(timer, "distributed"):
+            run = run_distributed_count(
+                graph, config=config, shards=shards, partitioner=partitioner
+            )
+        counts = run.counts
+        span.set("triangles", counts.total)
+        span.set("hub_count", run.hub_count)
+    total_edges = run.hub_edges + run.non_hub_edges
+    return TCResult(
+        algorithm="lotus",
+        triangles=counts.total,
+        elapsed=timer.total,
+        phases=dict(timer.phases),
+        extra={
+            "counts": counts,
+            "backend": "distributed",
+            "shards": run.shards,
+            "partitioner": run.partitioner,
+            "hub_count": run.hub_count,
+            "hub_edges": run.hub_edges,
+            "non_hub_edges": run.non_hub_edges,
+            "hub_edge_fraction": run.hub_edges / total_edges if total_edges else 0.0,
+            "boundary_edge_ratio": run.boundary_edge_ratio,
+            "bytes_exchanged": run.bytes_exchanged,
         },
     )

@@ -208,7 +208,9 @@ def fuzz_counters() -> dict[str, Callable[[CSRGraph], int]]:
             count_triangles_lotus(g, config, backend=backend, workers=2)
         )
 
-    for backend in ("threads", "processes"):
+    # "distributed" spawns real shard processes per case (edge-free
+    # graphs are answered inline), exactly like "processes" spawns a pool
+    for backend in ("threads", "processes", "distributed"):
         counters[f"lotus-{backend}"] = lambda g, b=backend: _lotus_backend(g, b)
     return counters
 

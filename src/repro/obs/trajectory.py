@@ -43,6 +43,11 @@ __all__ = [
     "DYNAMIC_OPS",
     "DYNAMIC_BATCH",
     "DYNAMIC_SEED",
+    "DIST_DATASET",
+    "DIST_SHARDS",
+    "DIST_PARTITIONER",
+    "DIST_SIM_SHARDS",
+    "build_dist_measurements",
     "build_scaling_measurements",
     "build_serve_measurements",
     "build_telemetry_overhead_measurements",
@@ -110,6 +115,20 @@ DYNAMIC_DATASET = "EU15"
 DYNAMIC_OPS = 1024
 DYNAMIC_BATCH = 128
 DYNAMIC_SEED = 7
+
+# Pinned distributed run: one real sharded count on the largest stand-in
+# plus a simulated shard-scaling sweep.  The gated metrics are the exact
+# triangle count (the distributed backend must agree with the baseline
+# bit-for-bit) and the deterministic traffic numbers — boundary edges,
+# bytes exchanged, and the simulator's predictions across shard counts.
+# The build itself asserts the differential contract: the simulator's
+# predicted ``bytes_exchanged`` must equal the measured wire traffic
+# exactly, because runtime and simulator share ``repro.dist.plan``.
+# Measured wall time lands in ``info`` (IPC speed is machine-dependent).
+DIST_DATASET = "EU15"
+DIST_SHARDS = 2
+DIST_PARTITIONER = "hash"
+DIST_SIM_SHARDS: tuple[int, ...] = (2, 4, 8)
 
 
 def build_scaling_measurements(
@@ -416,6 +435,79 @@ def build_dynamic_measurements(
     return metrics, info
 
 
+def build_dist_measurements(
+    dataset: str = DIST_DATASET,
+    shards: int = DIST_SHARDS,
+    partitioner: str = DIST_PARTITIONER,
+    sim_shards: Iterable[int] = DIST_SIM_SHARDS,
+) -> tuple[dict[str, float], dict[str, Any]]:
+    """One real sharded count plus the simulated shard-scaling sweep.
+
+    Runs :func:`repro.dist.runtime.run_distributed_count` on ``dataset``
+    and simulates the same partitioner across ``sim_shards``.  Returns
+    ``(metrics, info)``: gated metrics are ``dist.<dataset>.triangles``
+    (exact), the measured traffic (``boundary_edges`` /
+    ``bytes_exchanged`` — deterministic functions of the partition), and
+    the per-shard-count simulated traffic trend.  Two canaries run
+    in-build: the simulator must predict the measured wire bytes
+    *exactly* (runtime and simulator share :mod:`repro.dist.plan`), and
+    the simulated triangle total must match the distributed run.
+    """
+    import time
+
+    from repro.core.structure import LotusConfig
+    from repro.dist import (
+        PARTITIONERS,
+        lotus_rank,
+        run_distributed_count,
+        simulate_distributed_tc,
+    )
+    from repro.graph import load_dataset
+
+    graph = load_dataset(dataset)
+    config = LotusConfig()
+    started = time.perf_counter()
+    run = run_distributed_count(
+        graph, config=config, shards=shards, partitioner=partitioner
+    )
+    run_s = time.perf_counter() - started
+    rank, _hub = lotus_rank(graph, config)
+    metrics: dict[str, float] = {
+        f"dist.{dataset}.triangles": int(run.counts.total),
+        f"dist.{dataset}.boundary_edges": int(run.boundary_edges),
+        f"dist.{dataset}.bytes_exchanged": int(run.bytes_exchanged),
+    }
+    info: dict[str, Any] = {
+        f"dist.{dataset}.shards": shards,
+        f"dist.{dataset}.partitioner": partitioner,
+        f"dist.{dataset}.run_seconds": round(run_s, 4),
+        f"dist.{dataset}.boundary_edge_ratio": round(run.boundary_edge_ratio, 6),
+    }
+    for s in sim_shards:
+        owner = PARTITIONERS[partitioner](graph, s)
+        sim = simulate_distributed_tc(graph, owner, s, rank=rank)
+        if sim.triangles != run.counts.total:  # pragma: no cover - canary
+            raise AssertionError(
+                f"dist bench diverged on {dataset}: simulated "
+                f"{sim.triangles} != distributed {run.counts.total}"
+            )
+        if s == shards and sim.bytes_exchanged != run.bytes_exchanged:
+            raise AssertionError(  # pragma: no cover - canary
+                f"dist bench traffic mismatch on {dataset}: simulator "
+                f"predicted {sim.bytes_exchanged} bytes, runtime "
+                f"measured {run.bytes_exchanged}"
+            )
+        metrics[f"dist.{dataset}.sim.shards{s}.bytes_exchanged"] = int(
+            sim.bytes_exchanged
+        )
+        metrics[f"dist.{dataset}.sim.shards{s}.remote_share"] = round(
+            sim.remote_wedge_checks
+            / max(1, sim.remote_wedge_checks + sim.local_wedge_checks),
+            6,
+        )
+    return metrics, info
+
+
 def build_trajectory_artifact(
     suite: Iterable[str] = DEFAULT_SUITE,
     machines: Iterable[str] = ALL_MACHINES,
@@ -425,6 +517,7 @@ def build_trajectory_artifact(
     telemetry_overhead: str | None = None,
     profiler_overhead: str | None = None,
     dynamic: str | None = None,
+    dist: str | None = None,
 ) -> dict[str, Any]:
     """Measure the pinned suite and return the artifact as a plain dict.
 
@@ -509,6 +602,10 @@ def build_trajectory_artifact(
         dyn_metrics, dyn_info = build_dynamic_measurements(dynamic)
         metrics.update(dyn_metrics)
         info.update(dyn_info)
+    if dist:
+        dist_metrics, dist_info = build_dist_measurements(dist)
+        metrics.update(dist_metrics)
+        info.update(dist_info)
     return {
         "schema": TRAJECTORY_SCHEMA_VERSION,
         "kind": "bench-trajectory",
@@ -520,6 +617,7 @@ def build_trajectory_artifact(
         "telemetry_overhead": telemetry_overhead,
         "profiler_overhead": profiler_overhead,
         "dynamic": dynamic,
+        "dist": dist,
         "metrics": metrics,
         "info": info,
     }

@@ -9,9 +9,17 @@ Three execution backends produce bit-identical counts:
 * ``processes``  — :mod:`repro.parallel.procpool` (shared-memory pool;
   immune to the GIL, pays a fork + one structure copy).
 
+A fourth backend, ``distributed`` (:mod:`repro.dist.runtime`), shards
+the *whole* count — all four phases — across worker processes that each
+own a partition of the graph, so it does not route through
+:func:`run_phase1` (a phase-1-only dispatcher over a prebuilt Lotus
+structure).  :func:`repro.core.count.count_triangles_lotus` branches to
+it before the structure is built; see ``docs/dist.md``.
+
 ``auto`` picks a backend from the workload shape: small HE sub-graphs
 are not worth any dispatch overhead; Python-level kernels need
-processes; everything else uses threads.
+processes; everything else uses threads.  ``auto`` never selects
+``distributed`` — sharding is an explicit choice.
 """
 
 from __future__ import annotations
@@ -23,7 +31,7 @@ from repro.obs import get_registry
 
 __all__ = ["BACKENDS", "BackendDecision", "resolve_backend", "run_phase1"]
 
-BACKENDS = ("auto", "sequential", "threads", "processes")
+BACKENDS = ("auto", "sequential", "threads", "processes", "distributed")
 
 # below this many HE arcs, parallel dispatch costs more than it saves
 _SMALL_HUB_EDGES = 1 << 15
@@ -86,6 +94,12 @@ def run_phase1(
     through to :func:`repro.parallel.procpool.count_hhh_hhn_processes`
     to crash one worker and exercise the failure path.
     """
+    if backend == "distributed":
+        raise ValueError(
+            "the distributed backend shards whole-graph counting, not "
+            "phase 1; call count_triangles_lotus(backend='distributed') "
+            "or repro.dist.runtime.run_distributed_count instead"
+        )
     decision = resolve_backend(
         backend, workers, hub_edges=lotus.hub_edges
     )

@@ -640,14 +640,33 @@ def _default_executor(
     shared-memory manifest); every other algorithm runs on the cached
     CSR.  Returns a plain payload dict so coalesced requests can share
     one execution.
+
+    ``backend == "distributed"`` dispatches the cached graph to the
+    sharded runtime (``workers`` shards) with the request's timeout as
+    the per-shard deadline.  A :class:`~repro.dist.runtime.ShardFailedError`
+    (or deadline ``TimeoutError``) propagates to the engine's per-
+    computation error handling, failing only the requests batched onto
+    this computation — the cached structure stays resident and other
+    computations are untouched.
     """
     if request.algorithm == "lotus":
-        counts = lotus_count_from_structure(
-            entry.lotus,
-            backend=backend,
-            workers=workers,
-            graph_manifest=entry.manifest,
-        )
+        if backend == "distributed":
+            from repro.dist.runtime import run_distributed_count
+
+            run = run_distributed_count(
+                entry.graph,
+                config=entry.lotus.config,
+                shards=workers or 2,
+                deadline_s=request.timeout,
+            )
+            counts = run.counts
+        else:
+            counts = lotus_count_from_structure(
+                entry.lotus,
+                backend=backend,
+                workers=workers,
+                graph_manifest=entry.manifest,
+            )
         return {
             "triangles": counts.total,
             "counts": {

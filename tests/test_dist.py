@@ -12,7 +12,13 @@ from repro.dist import (
     partition_hash,
     simulate_distributed_tc,
 )
-from repro.graph import complete_graph, erdos_renyi, powerlaw_chung_lu
+from repro.graph import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    erdos_renyi,
+    powerlaw_chung_lu,
+)
 from repro.tc import count_triangles_matrix
 
 
@@ -100,3 +106,49 @@ class TestSimulation:
         owner = partition_hash(g, workers)
         report = simulate_distributed_tc(g, owner, workers)
         assert report.triangles == count_triangles_matrix(g)
+
+
+class TestPartitionerEdgeCases:
+    """Degenerate inputs every partitioner must survive: empty graphs,
+    single vertices, more shards than vertices, and degree ties."""
+
+    @pytest.mark.parametrize("name", sorted(PARTITIONERS))
+    def test_zero_vertex_graph(self, name):
+        g = empty_graph(0)
+        owner = PARTITIONERS[name](g, 4)
+        assert owner.size == 0
+        assert owner.dtype == np.int64
+
+    @pytest.mark.parametrize("name", sorted(PARTITIONERS))
+    def test_single_vertex_graph(self, name):
+        g = empty_graph(1)
+        owner = PARTITIONERS[name](g, 4)
+        assert owner.size == 1
+        assert 0 <= owner[0] < 4
+
+    @pytest.mark.parametrize("name", sorted(PARTITIONERS))
+    def test_more_shards_than_vertices(self, name):
+        g = complete_graph(3)
+        owner = PARTITIONERS[name](g, 8)
+        assert owner.size == 3
+        assert owner.min() >= 0 and owner.max() < 8
+        report = simulate_distributed_tc(g, owner, 8)
+        assert report.triangles == 1
+        assert report.per_worker_triangles.size == 8
+
+    def test_degree_ties_are_deterministic(self):
+        # every vertex of a cycle has degree 2 — pure tie-breaking
+        g = cycle_graph(12)
+        a = partition_degree_balanced(g, 3)
+        b = partition_degree_balanced(g, 3)
+        assert (a == b).all()
+        loads = np.bincount(a, weights=g.degrees(), minlength=3)
+        assert loads.max() - loads.min() <= 2
+
+    @pytest.mark.parametrize("name", sorted(PARTITIONERS))
+    def test_edgeless_graph_simulates_to_zero(self, name):
+        g = empty_graph(10)
+        owner = PARTITIONERS[name](g, 3)
+        report = simulate_distributed_tc(g, owner, 3)
+        assert report.triangles == 0
+        assert report.bytes_exchanged == 0
